@@ -1,0 +1,60 @@
+// Command repro regenerates the tables and figures of the paper's
+// evaluation section (DATE 2008). Each experiment prints its artifact in
+// the paper's layout together with the shape claims being reproduced.
+//
+// Usage:
+//
+//	repro [-o output.txt] {fig2|fig3|fig4|tab1|tab2|tab3|all}
+//
+// Expect `all` to take a few minutes on one CPU: the industrial-core
+// lookup tables dominate, and are shared across experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: repro [-o file] {fig2|fig3|fig4|tab1|tab2|tab3|ablations|techsel|seeds|verify|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"fig2", "fig3", "fig4", "tab1", "tab2", "tab3", "ablations", "techsel", "seeds", "verify"} {
+			if err := run(w, n); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	if err := run(w, name); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}

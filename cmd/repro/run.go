@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"soctap/internal/experiments"
+)
+
+// renderer is the common shape of every experiment result.
+type renderer interface {
+	Render(io.Writer) error
+}
+
+// run executes one named experiment and renders it with timing.
+func run(w io.Writer, name string) error {
+	start := time.Now()
+	var (
+		r   renderer
+		err error
+	)
+	switch name {
+	case "fig2":
+		r, err = experiments.Fig2()
+	case "fig3":
+		r, err = experiments.Fig3()
+	case "fig4":
+		r, err = experiments.Fig4()
+	case "tab1":
+		r, err = experiments.Tab1()
+	case "tab2":
+		r, err = experiments.Tab2()
+	case "tab3":
+		r, err = experiments.Tab3()
+	case "ablations":
+		r, err = experiments.Ablations()
+	case "techsel":
+		r, err = experiments.TechSel()
+	case "seeds":
+		r, err = experiments.Seeds()
+	case "verify":
+		r, err = experiments.Verify()
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	if err := r.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "[%s regenerated in %.1fs]\n", name, time.Since(start).Seconds())
+	return err
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"soctap/internal/soc"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := generate("x", "industrial", 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := generate("x", "industrial", 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ba, bb bytes.Buffer
+	if err := soc.Write(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := soc.Write(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Error("same seed produced different designs")
+	}
+	c, _ := generate("x", "industrial", 4, 10)
+	var bc bytes.Buffer
+	soc.Write(&bc, c)
+	if ba.String() == bc.String() {
+		t.Error("different seeds produced identical designs")
+	}
+}
+
+func TestGenerateProfiles(t *testing.T) {
+	ind, err := generate("i", "industrial", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range ind.Cores {
+		if c.CareDensity > 0.06 {
+			t.Errorf("industrial core %s density %g too high", c.Name, c.CareDensity)
+		}
+		if len(c.ScanChains) < 50 {
+			t.Errorf("industrial core %s has only %d chains", c.Name, len(c.ScanChains))
+		}
+	}
+	isc, err := generate("s", "iscas", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range isc.Cores {
+		if c.CareDensity < 0.3 {
+			t.Errorf("iscas core %s density %g too low", c.Name, c.CareDensity)
+		}
+	}
+	if _, err := generate("b", "bogus", 2, 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestGeneratedDesignsAreUsable(t *testing.T) {
+	// Generated designs must round-trip and validate.
+	s, err := generate("g", "industrial", 2, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := soc.Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := soc.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalancedHelper(t *testing.T) {
+	ch := balanced(100, 7)
+	total := 0
+	for _, l := range ch {
+		total += l
+	}
+	if total != 100 || len(ch) != 7 {
+		t.Errorf("balanced(100,7) = %v", ch)
+	}
+	if got := balanced(3, 10); len(got) != 3 {
+		t.Errorf("balanced clamps to total: %v", got)
+	}
+	if got := balanced(5, 0); len(got) != 1 {
+		t.Errorf("balanced(5,0) = %v", got)
+	}
+}

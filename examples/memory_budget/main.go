@@ -1,0 +1,87 @@
+// Memory budget: when even compressed test data exceeds the tester's
+// vector memory, the flow of Larsson & Edbom truncates each core's
+// pattern set — keeping the leading, highest-coverage patterns — to
+// maximize test quality within the budget. This example sizes an SOC's
+// compressed test set, sweeps ATE memory budgets, and shows the
+// quality/memory trade-off (halving memory costs far less than half the
+// quality thanks to ATPG's density decay).
+//
+// Run with: go run ./examples/memory_budget
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"soctap"
+	"soctap/internal/report"
+)
+
+func main() {
+	design, err := soctap.System("System1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plan the compressed test first: per core, the optimizer's chosen
+	// configuration defines the per-pattern storage cost.
+	res, err := soctap.Optimize(design, 32, soctap.Options{Style: soctap.StyleTDCPerCore})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chosenM := map[string]int{}
+	for _, ch := range res.Choices {
+		if ch.Config.UseTDC {
+			chosenM[ch.Core] = ch.Config.M
+		}
+	}
+	perPattern := map[string][]int64{}
+	for _, c := range design.Cores {
+		if m, ok := chosenM[c.Name]; ok {
+			bits, err := soctap.PatternBits(c, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perPattern[c.Name] = bits
+		}
+	}
+	cost := func(c *soctap.Core, j int) int64 {
+		if bits, ok := perPattern[c.Name]; ok {
+			return bits[j]
+		}
+		return int64(c.StimulusBits()) // uncompressed cores store raw slices
+	}
+
+	full, err := soctap.TruncateForATE(design, 1<<50, cost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: full compressed test set = %.2f Mbit across %d cores\n\n",
+		design.Name, float64(full.Bits)/1e6, len(design.Cores))
+
+	tab := report.NewTable("test quality vs ATE memory budget",
+		"budget (Mbit)", "stored (Mbit)", "avg quality", "patterns kept")
+	for _, frac := range []int64{1, 2, 4, 8, 16} {
+		budget := full.Bits / frac
+		plan, err := soctap.TruncateForATE(design, budget, cost)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kept, total := 0, 0
+		for _, cb := range plan.Cores {
+			kept += cb.Patterns
+			total += cb.Total
+		}
+		tab.Add(fmt.Sprintf("%.2f", float64(budget)/1e6),
+			fmt.Sprintf("%.2f", float64(plan.Bits)/1e6),
+			fmt.Sprintf("%.3f", plan.Quality),
+			fmt.Sprintf("%d/%d", kept, total))
+	}
+	if err := tab.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=> early ATPG patterns carry disproportionate coverage (density decay),")
+	fmt.Println("   so every halving of memory keeps more than half the remaining quality —")
+	fmt.Println("   and compression multiplies how many patterns fit in the first place.")
+}

@@ -1,0 +1,3 @@
+module soctap
+
+go 1.22

@@ -1,0 +1,62 @@
+// Package ate models the automatic test equipment side of the flow:
+// channel counts, vector memory depth, and test application wall-clock
+// time. The paper's motivation — "excessive tester memory requirements"
+// — is quantified here.
+package ate
+
+import "fmt"
+
+// Tester describes an ATE configuration.
+type Tester struct {
+	Channels    int   // scan-capable digital channels
+	MemoryDepth int64 // vectors (bits) per channel
+	FreqMHz     float64
+}
+
+// Validate checks the tester description.
+func (t Tester) Validate() error {
+	if t.Channels < 1 {
+		return fmt.Errorf("ate: %d channels", t.Channels)
+	}
+	if t.MemoryDepth < 0 {
+		return fmt.Errorf("ate: negative memory depth")
+	}
+	if t.FreqMHz < 0 {
+		return fmt.Errorf("ate: negative frequency")
+	}
+	return nil
+}
+
+// DepthPerChannel returns the vector depth each channel needs to store
+// the given total stimulus volume (bits), assuming balanced channel use.
+func (t Tester) DepthPerChannel(volumeBits int64) int64 {
+	return (volumeBits + int64(t.Channels) - 1) / int64(t.Channels)
+}
+
+// Fits reports whether the volume fits the tester memory without a
+// buffer reload.
+func (t Tester) Fits(volumeBits int64) bool {
+	return t.MemoryDepth == 0 || t.DepthPerChannel(volumeBits) <= t.MemoryDepth
+}
+
+// Reloads returns the number of memory reloads needed for the volume
+// (0 when it fits, or when depth is unlimited).
+func (t Tester) Reloads(volumeBits int64) int64 {
+	if t.MemoryDepth == 0 {
+		return 0
+	}
+	d := t.DepthPerChannel(volumeBits)
+	if d <= t.MemoryDepth {
+		return 0
+	}
+	return (d+t.MemoryDepth-1)/t.MemoryDepth - 1
+}
+
+// Seconds converts a cycle count to wall-clock test seconds at the
+// tester frequency (0 frequency returns 0).
+func (t Tester) Seconds(cycles int64) float64 {
+	if t.FreqMHz <= 0 {
+		return 0
+	}
+	return float64(cycles) / (t.FreqMHz * 1e6)
+}

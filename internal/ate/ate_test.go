@@ -1,0 +1,61 @@
+package ate
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	if err := (Tester{Channels: 16, MemoryDepth: 1 << 20, FreqMHz: 50}).Validate(); err != nil {
+		t.Errorf("valid tester rejected: %v", err)
+	}
+	for _, bad := range []Tester{
+		{Channels: 0},
+		{Channels: 4, MemoryDepth: -1},
+		{Channels: 4, FreqMHz: -2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid tester accepted: %+v", bad)
+		}
+	}
+}
+
+func TestDepthPerChannel(t *testing.T) {
+	ts := Tester{Channels: 16}
+	if got := ts.DepthPerChannel(1600); got != 100 {
+		t.Errorf("DepthPerChannel(1600) = %d, want 100", got)
+	}
+	if got := ts.DepthPerChannel(1601); got != 101 {
+		t.Errorf("DepthPerChannel(1601) = %d, want 101 (ceiling)", got)
+	}
+}
+
+func TestFitsAndReloads(t *testing.T) {
+	ts := Tester{Channels: 8, MemoryDepth: 1000}
+	if !ts.Fits(8000) {
+		t.Error("exact fit rejected")
+	}
+	if ts.Fits(8001) {
+		t.Error("overflow accepted")
+	}
+	if got := ts.Reloads(8000); got != 0 {
+		t.Errorf("Reloads(fit) = %d", got)
+	}
+	if got := ts.Reloads(16000); got != 1 {
+		t.Errorf("Reloads(2x) = %d, want 1", got)
+	}
+	if got := ts.Reloads(24001); got != 3 {
+		t.Errorf("Reloads(3x+1) = %d, want 3", got)
+	}
+	unlimited := Tester{Channels: 8}
+	if !unlimited.Fits(1<<40) || unlimited.Reloads(1<<40) != 0 {
+		t.Error("unlimited memory not honored")
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	ts := Tester{Channels: 8, FreqMHz: 50}
+	if got := ts.Seconds(50_000_000); got != 1.0 {
+		t.Errorf("Seconds = %g, want 1.0", got)
+	}
+	if (Tester{Channels: 8}).Seconds(100) != 0 {
+		t.Error("zero frequency should report 0 seconds")
+	}
+}

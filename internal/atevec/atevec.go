@@ -1,0 +1,222 @@
+// Package atevec composes the SOC-level ATE vector image from an
+// optimized test plan: per TAM bus, the sequence of per-core stimulus
+// streams (packed compressed codewords or raw scan slices) laid out at
+// their scheduled start cycles. This is the artifact an ATE program
+// generator consumes; its statistics make the paper's memory argument
+// concrete — channel depth, stored bits, and bus utilization.
+package atevec
+
+import (
+	"fmt"
+
+	"soctap/internal/bitvec"
+	"soctap/internal/core"
+	"soctap/internal/dictenc"
+	"soctap/internal/selenc"
+	"soctap/internal/soc"
+	"soctap/internal/wrapper"
+)
+
+// Segment is one core's stimulus stream on a bus.
+type Segment struct {
+	Core   string
+	Start  int64 // scheduled start cycle
+	Cycles int64 // full test span (stimulus delivery + capture + shift-out overlap)
+	Wires  int   // wires carrying stimulus (w for compressed, m for direct)
+	// Stream is the exact bit traffic of the segment's stimulus part,
+	// in delivery order.
+	Stream *bitvec.Vector
+}
+
+// Bus is the vector image of one TAM bus.
+type Bus struct {
+	Width    int
+	Segments []Segment
+}
+
+// Image is the complete SOC vector image.
+type Image struct {
+	Design string
+	Depth  int64 // schedule makespan = vector depth
+	Buses  []Bus
+}
+
+// Build composes the image for an optimized plan by re-encoding every
+// core's test set under its chosen configuration.
+func Build(res *core.Result) (*Image, error) {
+	im := &Image{Design: res.SOC.Name, Depth: res.TestTime}
+	im.Buses = make([]Bus, len(res.Partition))
+	for b, w := range res.Partition {
+		im.Buses[b].Width = w
+	}
+	for _, ch := range res.Choices {
+		c := res.SOC.CoreByName(ch.Core)
+		if c == nil {
+			return nil, fmt.Errorf("atevec: unknown core %q", ch.Core)
+		}
+		stream, err := coreStream(c, ch.Config)
+		if err != nil {
+			return nil, err
+		}
+		im.Buses[ch.Bus].Segments = append(im.Buses[ch.Bus].Segments, Segment{
+			Core:   ch.Core,
+			Start:  ch.Start,
+			Cycles: ch.Config.Time,
+			Wires:  ch.Config.Width,
+			Stream: stream,
+		})
+	}
+	return im, nil
+}
+
+// coreStream re-encodes one core's stimuli under a configuration.
+func coreStream(c *soc.Core, cfg core.Config) (*bitvec.Vector, error) {
+	d, err := wrapper.New(c, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := c.TestSet()
+	if err != nil {
+		return nil, err
+	}
+	refs := d.StimulusMap()
+	si := d.ScanIn
+
+	perPattern := make([][][]selenc.CareBit, ts.Len())
+	for pi, cb := range ts.Cubes {
+		slices := make([][]selenc.CareBit, si)
+		for _, bit := range cb.Care {
+			r := refs[bit.Pos]
+			slices[r.Depth] = append(slices[r.Depth], selenc.CareBit{Pos: int(r.Chain), Value: bit.Value})
+		}
+		for _, s := range slices {
+			sortCare(s)
+		}
+		perPattern[pi] = slices
+	}
+
+	switch cfg.Codec {
+	case core.CodecSelEnc:
+		var cws []selenc.Codeword
+		for _, slices := range perPattern {
+			for _, s := range slices {
+				cws = append(cws, selenc.EncodeSlice(cfg.M, s)...)
+			}
+		}
+		return selenc.PackStream(cfg.M, cws), nil
+	case core.CodecDict:
+		var all []dictenc.Slice
+		for _, slices := range perPattern {
+			for _, s := range slices {
+				all = append(all, s)
+			}
+		}
+		dict, err := dictenc.Build(cfg.M, cfg.DictWords, all)
+		if err != nil {
+			return nil, err
+		}
+		var bools []bool
+		for _, s := range all {
+			bools = dict.Encode(bools, s)
+		}
+		v := bitvec.New(len(bools))
+		for i, b := range bools {
+			v.Set(i, b)
+		}
+		return v, nil
+	case core.CodecDirect:
+		// Raw scan slices, X filled with 0, slice-major delivery.
+		v := bitvec.New(ts.Len() * si * cfg.M)
+		pos := 0
+		for _, slices := range perPattern {
+			for _, s := range slices {
+				for _, cb := range s {
+					if cb.Value {
+						v.Set(pos+cb.Pos, true)
+					}
+				}
+				pos += cfg.M
+			}
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("atevec: unknown codec %q for core %s", cfg.Codec, c.Name)
+	}
+}
+
+func sortCare(care []selenc.CareBit) {
+	for i := 1; i < len(care); i++ {
+		for j := i; j > 0 && care[j-1].Pos > care[j].Pos; j-- {
+			care[j-1], care[j] = care[j], care[j-1]
+		}
+	}
+}
+
+// Stats summarizes the image's ATE footprint.
+type Stats struct {
+	Depth        int64   // vector depth (schedule makespan)
+	ChannelBits  int64   // total capacity: Σ busWidth × depth
+	StoredBits   int64   // stimulus bits actually stored
+	Utilization  float64 // StoredBits / ChannelBits
+	Segments     int
+	WidestStream int64 // largest single-core stream, bits
+}
+
+// ComputeStats derives the image statistics.
+func (im *Image) ComputeStats() Stats {
+	st := Stats{Depth: im.Depth}
+	for _, b := range im.Buses {
+		st.ChannelBits += int64(b.Width) * im.Depth
+		for _, s := range b.Segments {
+			st.Segments++
+			bits := int64(s.Stream.Len())
+			st.StoredBits += bits
+			if bits > st.WidestStream {
+				st.WidestStream = bits
+			}
+		}
+	}
+	if st.ChannelBits > 0 {
+		st.Utilization = float64(st.StoredBits) / float64(st.ChannelBits)
+	}
+	return st
+}
+
+// Validate checks the image's structural invariants: segments within
+// the schedule depth, no overlap on a bus, stream wires within bus
+// width, and stream lengths consistent with the per-core wire counts.
+func (im *Image) Validate() error {
+	for bi, b := range im.Buses {
+		var end int64
+		for _, s := range sortedByStart(b.Segments) {
+			if s.Start < end {
+				return fmt.Errorf("atevec: bus %d: segment %s overlaps previous", bi, s.Core)
+			}
+			end = s.Start + s.Cycles
+			if end > im.Depth {
+				return fmt.Errorf("atevec: bus %d: segment %s exceeds image depth", bi, s.Core)
+			}
+			if s.Wires > b.Width {
+				return fmt.Errorf("atevec: bus %d: segment %s uses %d wires on a %d-wide bus",
+					bi, s.Core, s.Wires, b.Width)
+			}
+			// The stimulus stream must fit the segment's delivery
+			// window at its wire count.
+			if int64(s.Stream.Len()) > s.Cycles*int64(s.Wires) {
+				return fmt.Errorf("atevec: bus %d: segment %s stream (%d bits) exceeds window (%d cycles x %d wires)",
+					bi, s.Core, s.Stream.Len(), s.Cycles, s.Wires)
+			}
+		}
+	}
+	return nil
+}
+
+func sortedByStart(segs []Segment) []Segment {
+	out := append([]Segment(nil), segs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Start > out[j].Start; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

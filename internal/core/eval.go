@@ -1,0 +1,279 @@
+// Package core implements the paper's primary contribution: co-optimized
+// test-architecture design and test scheduling with core-level expansion
+// of compressed test patterns.
+//
+// It has three layers:
+//
+//   - per-core evaluation (this file): the exact test time and ATE data
+//     volume of one core for a given wrapper-chain count m, with or
+//     without the selective-encoding decompressor;
+//   - lookup tables (lookup.go): the τ(w, m) exploration of Section 2 of
+//     the paper, reduced to best-configuration tables indexed by TAM
+//     width;
+//   - the SOC-level optimizer (optimize.go): TAM partitioning, core
+//     assignment and scheduling over those tables (Section 3).
+package core
+
+import (
+	"sort"
+
+	"soctap/internal/cube"
+	"soctap/internal/selenc"
+	"soctap/internal/soc"
+	"soctap/internal/wrapper"
+)
+
+// Config is the outcome of testing one core through one access
+// configuration.
+type Config struct {
+	Feasible bool
+	UseTDC   bool
+	Codec    string // CodecDirect, CodecSelEnc or CodecDict
+	Width    int    // TAM wires consumed (w for TDC, m for no-TDC)
+	M        int    // wrapper chains driven
+	// DictWords is the dictionary capacity (CodecDict only).
+	DictWords int
+	Time      int64 // test application time in cycles
+	Volume    int64 // ATE stimulus storage in bits
+}
+
+// better reports whether c strictly improves on o (time first, then
+// volume).
+func (c Config) better(o Config) bool {
+	if !c.Feasible {
+		return false
+	}
+	if !o.Feasible {
+		return true
+	}
+	if c.Time != o.Time {
+		return c.Time < o.Time
+	}
+	return c.Volume < o.Volume
+}
+
+// EvalNoTDC evaluates testing the core through m direct TAM wires (one
+// wrapper chain per wire, no compression): the classic
+// τ = (1 + max(si,so))·p + min(si,so) regime.
+func EvalNoTDC(c *soc.Core, m int) (Config, error) {
+	d, err := wrapper.New(c, m)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Feasible: true,
+		Width:    m,
+		M:        m,
+		Time:     d.TestTime(),
+		Volume:   d.StimulusVolume(),
+	}, nil
+}
+
+// EvalTDC evaluates testing the core through a selective-encoding
+// decompressor with m outputs (wrapper chains) and w = CodewordWidth(m)
+// TAM inputs. The test time charges one cycle per codeword, overlaps
+// each pattern's response shift-out with the next pattern's compressed
+// shift-in, and adds one capture cycle per pattern plus the final
+// shift-out:
+//
+//	τ = cw_1 + Σ_{j>1} max(cw_j, so) + p + so
+//
+// The ATE volume is the exact compressed stream size, codewords × w.
+func EvalTDC(c *soc.Core, m int) (Config, error) {
+	d, err := wrapper.New(c, m)
+	if err != nil {
+		return Config{}, err
+	}
+	ts, err := c.TestSet()
+	if err != nil {
+		return Config{}, err
+	}
+	time, volume := tdcCost(d, ts, true)
+	return Config{
+		Feasible: true,
+		UseTDC:   true,
+		Codec:    CodecSelEnc,
+		Width:    selenc.CodewordWidth(m),
+		M:        m,
+		Time:     time,
+		Volume:   volume,
+	}, nil
+}
+
+// EvalTDCNoGroupCopy is EvalTDC with group-copy mode disabled: every
+// target bit costs one single-bit codeword. This is the ablation knob
+// for the two-mode codec design choice.
+func EvalTDCNoGroupCopy(c *soc.Core, m int) (Config, error) {
+	d, err := wrapper.New(c, m)
+	if err != nil {
+		return Config{}, err
+	}
+	ts, err := c.TestSet()
+	if err != nil {
+		return Config{}, err
+	}
+	time, volume := tdcCost(d, ts, false)
+	return Config{
+		Feasible: true,
+		UseTDC:   true,
+		Codec:    CodecSelEnc,
+		Width:    selenc.CodewordWidth(m),
+		M:        m,
+		Time:     time,
+		Volume:   volume,
+	}, nil
+}
+
+// PatternBits returns the exact compressed size in bits of every test
+// pattern of the core under selective encoding with m wrapper chains —
+// the per-pattern cost model used by ATE-memory truncation planning.
+func PatternBits(c *soc.Core, m int) ([]int64, error) {
+	d, err := wrapper.New(c, m)
+	if err != nil {
+		return nil, err
+	}
+	ts, err := c.TestSet()
+	if err != nil {
+		return nil, err
+	}
+	k := selenc.PayloadBits(m)
+	w := int64(k + 2)
+	refs := d.StimulusMap()
+	si := int64(d.ScanIn)
+
+	out := make([]int64, ts.Len())
+	var keys []uint64
+	for j, cb := range ts.Cubes {
+		keys = keys[:0]
+		for _, bit := range cb.Care {
+			r := refs[bit.Pos]
+			key := uint64(r.Depth)<<32 | uint64(r.Chain)<<1
+			if bit.Value {
+				key |= 1
+			}
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		cw := si
+		for start := 0; start < len(keys); {
+			end := start
+			slice := keys[start] >> 32
+			ones := 0
+			for end < len(keys) && keys[end]>>32 == slice {
+				if keys[end]&1 != 0 {
+					ones++
+				}
+				end++
+			}
+			fill := uint64(0)
+			if ones*2 > end-start {
+				fill = 1
+			}
+			group := int64(-1)
+			inGroup := 0
+			for i := start; i < end; i++ {
+				if keys[i]&1 == fill {
+					continue
+				}
+				chain := int64(keys[i]>>1) & 0x7fffffff
+				g := chain / int64(k)
+				if g != group {
+					cw += flushGroup(inGroup, true)
+					group = g
+					inGroup = 0
+				}
+				inGroup++
+			}
+			cw += flushGroup(inGroup, true)
+			start = end
+		}
+		out[j] = cw * w
+	}
+	return out, nil
+}
+
+// tdcCost computes the exact test time and compressed volume for a
+// wrapper design, without materializing codewords. It reproduces
+// selenc's cost model — per slice, one header plus min(t, 2) codewords
+// per group holding t target bits (fill = per-slice care majority) — and
+// is validated against the real encoder in the tests.
+func tdcCost(d *wrapper.Design, ts *cube.Set, groupCopy bool) (time, volume int64) {
+	m := d.M
+	k := selenc.PayloadBits(m)
+	w := k + 2
+	si := int64(d.ScanIn)
+	so := int64(d.ScanOut)
+	refs := d.StimulusMap()
+
+	// Per-pattern sort keys: slice-major, chain-minor, value in bit 0.
+	var keys []uint64
+	var totalCW int64
+	for j, cb := range ts.Cubes {
+		keys = keys[:0]
+		for _, bit := range cb.Care {
+			r := refs[bit.Pos]
+			key := uint64(r.Depth)<<32 | uint64(r.Chain)<<1
+			if bit.Value {
+				key |= 1
+			}
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+
+		// One header per slice, including fully-X slices.
+		cw := si
+		// Ops for each non-empty slice: runs of equal slice index.
+		for start := 0; start < len(keys); {
+			end := start
+			slice := keys[start] >> 32
+			ones := 0
+			for end < len(keys) && keys[end]>>32 == slice {
+				if keys[end]&1 != 0 {
+					ones++
+				}
+				end++
+			}
+			fill := uint64(0)
+			if ones*2 > end-start {
+				fill = 1
+			}
+			// Count targets per group over the chain-sorted run.
+			group := int64(-1)
+			inGroup := 0
+			for i := start; i < end; i++ {
+				if keys[i]&1 == fill {
+					continue
+				}
+				chain := int64(keys[i]>>1) & 0x7fffffff
+				g := chain / int64(k)
+				if g != group {
+					cw += flushGroup(inGroup, groupCopy)
+					group = g
+					inGroup = 0
+				}
+				inGroup++
+			}
+			cw += flushGroup(inGroup, groupCopy)
+			start = end
+		}
+
+		totalCW += cw
+		if j == 0 {
+			time += cw
+		} else if cw > so {
+			time += cw
+		} else {
+			time += so
+		}
+	}
+	time += int64(ts.Len()) + so
+	volume = totalCW * int64(w)
+	return time, volume
+}
+
+func flushGroup(t int, groupCopy bool) int64 {
+	if groupCopy && t >= 2 {
+		return 2
+	}
+	return int64(t)
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soctap/internal/selenc"
+	"soctap/internal/soc"
+	"soctap/internal/wrapper"
+)
+
+func smallCore(seed int64) *soc.Core {
+	return &soc.Core{
+		Name: "small", Inputs: 12, Outputs: 9, Bidirs: 1,
+		ScanChains: []int{30, 25, 20, 15},
+		Patterns:   20, CareDensity: 0.15, Clustering: 0.5, DensityDecay: 0.5,
+		Seed: seed,
+	}
+}
+
+// referenceTDC computes test time and volume by actually encoding every
+// slice with the real selective-encoding encoder — the ground truth the
+// fast cost model in tdcCost must match bit-for-bit.
+func referenceTDC(t *testing.T, c *soc.Core, m int) (int64, int64) {
+	t.Helper()
+	d, err := wrapper.New(c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := c.TestSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := d.StimulusMap()
+	w := selenc.CodewordWidth(m)
+	so := int64(d.ScanOut)
+
+	var totalCW, time int64
+	for j, cb := range ts.Cubes {
+		slices := make([][]selenc.CareBit, d.ScanIn)
+		for _, bit := range cb.Care {
+			r := refs[bit.Pos]
+			slices[r.Depth] = append(slices[r.Depth], selenc.CareBit{Pos: int(r.Chain), Value: bit.Value})
+		}
+		var cw int64
+		for _, slice := range slices {
+			// EncodeSlice requires sorted care lists.
+			sortCare(slice)
+			cw += int64(len(selenc.EncodeSlice(m, slice)))
+		}
+		totalCW += cw
+		if j == 0 {
+			time += cw
+		} else if cw > so {
+			time += cw
+		} else {
+			time += so
+		}
+	}
+	time += int64(ts.Len()) + so
+	return time, totalCW * int64(w)
+}
+
+func sortCare(care []selenc.CareBit) {
+	for i := 1; i < len(care); i++ {
+		for j := i; j > 0 && care[j-1].Pos > care[j].Pos; j-- {
+			care[j-1], care[j] = care[j], care[j-1]
+		}
+	}
+}
+
+func TestEvalTDCMatchesRealEncoder(t *testing.T) {
+	c := smallCore(11)
+	for _, m := range []int{1, 2, 3, 5, 8, 13, c.MaxWrapperChains()} {
+		got, err := EvalTDC(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTime, wantVol := referenceTDC(t, c, m)
+		if got.Time != wantTime || got.Volume != wantVol {
+			t.Errorf("m=%d: cost model (τ=%d, V=%d) != encoder (τ=%d, V=%d)",
+				m, got.Time, got.Volume, wantTime, wantVol)
+		}
+		if got.Width != selenc.CodewordWidth(m) || got.M != m || !got.UseTDC || !got.Feasible {
+			t.Errorf("m=%d: config metadata wrong: %+v", m, got)
+		}
+	}
+}
+
+// Property: the cost model matches the encoder on random cores.
+func TestQuickCostModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nChains := rng.Intn(5)
+		chains := make([]int, nChains)
+		for i := range chains {
+			chains[i] = rng.Intn(30) + 1
+		}
+		c := &soc.Core{
+			Name: "q", Inputs: rng.Intn(15) + 1, Outputs: rng.Intn(15),
+			ScanChains: chains, Patterns: rng.Intn(10) + 1,
+			CareDensity: 0.05 + rng.Float64()*0.6, Clustering: rng.Float64(),
+			Seed: seed,
+		}
+		m := rng.Intn(c.MaxWrapperChains()) + 1
+		got, err := EvalTDC(c, m)
+		if err != nil {
+			return false
+		}
+		wantTime, wantVol := referenceTDCquiet(c, m)
+		return got.Time == wantTime && got.Volume == wantVol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func referenceTDCquiet(c *soc.Core, m int) (int64, int64) {
+	d, _ := wrapper.New(c, m)
+	ts, _ := c.TestSet()
+	refs := d.StimulusMap()
+	w := selenc.CodewordWidth(m)
+	so := int64(d.ScanOut)
+	var totalCW, time int64
+	for j, cb := range ts.Cubes {
+		slices := make([][]selenc.CareBit, d.ScanIn)
+		for _, bit := range cb.Care {
+			r := refs[bit.Pos]
+			slices[r.Depth] = append(slices[r.Depth], selenc.CareBit{Pos: int(r.Chain), Value: bit.Value})
+		}
+		var cw int64
+		for _, slice := range slices {
+			sortCare(slice)
+			cw += int64(len(selenc.EncodeSlice(m, slice)))
+		}
+		totalCW += cw
+		if j == 0 {
+			time += cw
+		} else if cw > so {
+			time += cw
+		} else {
+			time += so
+		}
+	}
+	time += int64(ts.Len()) + so
+	return time, totalCW * int64(w)
+}
+
+func TestEvalNoTDC(t *testing.T) {
+	c := smallCore(3)
+	for _, m := range []int{1, 4, 10} {
+		got, err := EvalNoTDC(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := wrapper.New(c, m)
+		if got.Time != d.TestTime() || got.Volume != d.StimulusVolume() {
+			t.Errorf("m=%d: (%d,%d) want (%d,%d)", m, got.Time, got.Volume, d.TestTime(), d.StimulusVolume())
+		}
+		if got.UseTDC || !got.Feasible || got.M != m {
+			t.Errorf("m=%d: metadata wrong: %+v", m, got)
+		}
+	}
+	if _, err := EvalNoTDC(c, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := EvalTDC(c, c.MaxWrapperChains()+1); err == nil {
+		t.Error("m beyond max accepted")
+	}
+}
+
+func TestConfigBetter(t *testing.T) {
+	inf := Config{}
+	a := Config{Feasible: true, Time: 10, Volume: 100}
+	b := Config{Feasible: true, Time: 10, Volume: 90}
+	c := Config{Feasible: true, Time: 9, Volume: 500}
+	if inf.better(a) {
+		t.Error("infeasible better than feasible")
+	}
+	if !a.better(inf) {
+		t.Error("feasible not better than infeasible")
+	}
+	if !b.better(a) || a.better(b) {
+		t.Error("volume tiebreak wrong")
+	}
+	if !c.better(b) {
+		t.Error("time priority wrong")
+	}
+}
+
+func TestSparseCoreCompressesWell(t *testing.T) {
+	// At 2% care density the compressed volume must be well below the
+	// raw stimulus volume for a same-width direct configuration.
+	chains := make([]int, 40)
+	for i := range chains {
+		chains[i] = 50
+	}
+	c := &soc.Core{
+		Name: "sparse", Inputs: 40, Outputs: 40,
+		ScanChains: chains, // 2000 cells in short compression-ready chains
+		Patterns:   40, CareDensity: 0.02, Clustering: 0.8, Seed: 5,
+	}
+	tdc, err := EvalTDC(c, 40) // w = 8
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := EvalNoTDC(c, 8) // same 8 TAM wires
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdc.Volume*3 > raw.Volume {
+		t.Errorf("TDC volume %d not well below direct volume %d", tdc.Volume, raw.Volume)
+	}
+	if tdc.Time >= raw.Time {
+		t.Errorf("TDC time %d not below direct time %d on sparse core", tdc.Time, raw.Time)
+	}
+}
+
+func TestPatternBitsSumMatchesEvalTDC(t *testing.T) {
+	c := smallCore(44)
+	for _, m := range []int{2, 5, 11} {
+		per, err := PatternBits(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := EvalTDC(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, b := range per {
+			if b <= 0 {
+				t.Fatalf("m=%d: non-positive pattern cost", m)
+			}
+			sum += b
+		}
+		if sum != cfg.Volume {
+			t.Errorf("m=%d: per-pattern sum %d != EvalTDC volume %d", m, sum, cfg.Volume)
+		}
+	}
+	if _, err := PatternBits(c, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+}

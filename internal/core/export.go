@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// PlanJSON is the serializable form of a Result, for handing the test
+// plan to downstream tooling (DFT insertion, ATE program generation).
+type PlanJSON struct {
+	Design    string       `json:"design"`
+	Style     string       `json:"style"`
+	WTAM      int          `json:"wtam"`
+	Partition []int        `json:"partition"`
+	TestTime  int64        `json:"test_time_cycles"`
+	Volume    int64        `json:"ate_volume_bits"`
+	Cores     []CoreJSON   `json:"cores"`
+	Hardware  HardwareJSON `json:"hardware"`
+	CPU       CPUJSON      `json:"cpu_seconds"`
+}
+
+// CoreJSON is one core's plan entry.
+type CoreJSON struct {
+	Core      string `json:"core"`
+	Bus       int    `json:"bus"`
+	Start     int64  `json:"start_cycle"`
+	Cycles    int64  `json:"cycles"`
+	Codec     string `json:"codec"` // "direct", "selenc" or "dict"
+	Width     int    `json:"tam_wires"`
+	M         int    `json:"wrapper_chains"`
+	DictWords int    `json:"dict_words,omitempty"`
+	Volume    int64  `json:"volume_bits"`
+}
+
+// HardwareJSON summarizes the decompression hardware of the plan.
+type HardwareJSON struct {
+	Decompressors int `json:"decompressors"`
+	FlipFlops     int `json:"flip_flops"`
+	Gates         int `json:"gates"`
+	InternalWires int `json:"internal_wires"`
+}
+
+// CPUJSON records planning effort.
+type CPUJSON struct {
+	Tables float64 `json:"tables"`
+	Search float64 `json:"search"`
+}
+
+// Plan converts the result into its serializable form.
+func (r *Result) Plan() PlanJSON {
+	p := PlanJSON{
+		Design:    r.SOC.Name,
+		Style:     r.Style.String(),
+		WTAM:      r.WTAM,
+		Partition: append([]int(nil), r.Partition...),
+		TestTime:  r.TestTime,
+		Volume:    r.Volume,
+		Hardware: HardwareJSON{
+			Decompressors: r.Decompressors,
+			FlipFlops:     r.DecompFFs,
+			Gates:         r.DecompGates,
+			InternalWires: r.InternalWires,
+		},
+		CPU: CPUJSON{Tables: r.TableSeconds, Search: r.CPUSeconds},
+	}
+	for _, ch := range r.Choices {
+		codec := ch.Config.Codec
+		if codec == CodecDirect {
+			codec = "direct"
+		}
+		p.Cores = append(p.Cores, CoreJSON{
+			Core:      ch.Core,
+			Bus:       ch.Bus,
+			Start:     ch.Start,
+			Cycles:    ch.Config.Time,
+			Codec:     codec,
+			Width:     ch.Config.Width,
+			M:         ch.Config.M,
+			DictWords: ch.Config.DictWords,
+			Volume:    ch.Config.Volume,
+		})
+	}
+	return p
+}
+
+// WritePlan writes the result as indented JSON.
+func (r *Result) WritePlan(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Plan())
+}

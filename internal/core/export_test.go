@@ -1,0 +1,48 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestPlanExport(t *testing.T) {
+	s := testSOC()
+	res, err := Optimize(s, 12, Options{Style: StyleTDCPerCore, Tables: TableOptions{MaxWidth: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Plan()
+	if p.Design != s.Name || p.WTAM != 12 || p.Style != "tdc-per-core" {
+		t.Errorf("plan header wrong: %+v", p)
+	}
+	if len(p.Cores) != len(s.Cores) {
+		t.Fatalf("%d plan cores", len(p.Cores))
+	}
+	var vol int64
+	for _, c := range p.Cores {
+		if c.Codec == "" {
+			t.Errorf("core %s: empty codec label", c.Core)
+		}
+		vol += c.Volume
+	}
+	if vol != p.Volume {
+		t.Errorf("plan volume %d != summed %d", p.Volume, vol)
+	}
+
+	var buf bytes.Buffer
+	if err := res.WritePlan(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The JSON parses back into the same structure.
+	var back PlanJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("plan JSON invalid: %v\n%s", err, buf.String())
+	}
+	if back.TestTime != p.TestTime || len(back.Cores) != len(p.Cores) {
+		t.Error("JSON round trip changed the plan")
+	}
+	if back.Partition[0] == 0 {
+		t.Error("partition lost in JSON")
+	}
+}

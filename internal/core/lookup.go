@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"soctap/internal/selenc"
+	"soctap/internal/soc"
+)
+
+// TableOptions controls per-core lookup table construction.
+type TableOptions struct {
+	// MaxWidth is the largest TAM width the table covers. Zero defaults
+	// to 64.
+	MaxWidth int
+	// BandSamples bounds the number of m values evaluated inside each
+	// codeword-width band. Bands no larger than the bound are swept
+	// exhaustively; larger bands are sampled uniformly, always including
+	// both band edges. Zero defaults to 48; negative means exhaustive.
+	BandSamples int
+}
+
+func (o TableOptions) withDefaults() TableOptions {
+	if o.MaxWidth == 0 {
+		o.MaxWidth = 64
+	}
+	if o.BandSamples == 0 {
+		o.BandSamples = 48
+	}
+	return o
+}
+
+// Table holds, for one core, the best test configuration at every TAM
+// width from 1 to MaxWidth, for each access style.
+type Table struct {
+	Core *soc.Core
+	Opts TableOptions
+
+	// NoTDC[u] is the direct-access configuration using u wrapper chains
+	// (clamped to the core's maximum useful chains).
+	NoTDC []Config
+	// TDCExact[u] is the best decompressor configuration whose input
+	// width is exactly u, i.e. the best m in u's band (infeasible when
+	// the band lies wholly above the core's maximum chains or u < 3).
+	TDCExact []Config
+	// TDCBest[u] is the best decompressor configuration with input
+	// width at most u (unused TAM wires are left idle).
+	TDCBest []Config
+	// Best[u] is the proposed style's choice: the better of NoTDC[u]
+	// and TDCBest[u].
+	Best []Config
+}
+
+// BuildTable constructs the lookup table for one core by exhaustive
+// wrapper design on the no-TDC side and banded (w, m) exploration on the
+// TDC side, exactly as Section 2 of the paper prescribes.
+func BuildTable(c *soc.Core, opts TableOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	if opts.MaxWidth < 1 {
+		return nil, fmt.Errorf("core: MaxWidth %d", opts.MaxWidth)
+	}
+	if _, err := c.TestSet(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Core:     c,
+		Opts:     opts,
+		NoTDC:    make([]Config, opts.MaxWidth+1),
+		TDCExact: make([]Config, opts.MaxWidth+1),
+		TDCBest:  make([]Config, opts.MaxWidth+1),
+		Best:     make([]Config, opts.MaxWidth+1),
+	}
+	maxM := c.MaxWrapperChains()
+
+	for u := 1; u <= opts.MaxWidth; u++ {
+		m := u
+		if m > maxM {
+			m = maxM
+		}
+		cfg, err := EvalNoTDC(c, m)
+		if err != nil {
+			return nil, err
+		}
+		// Width is the full TAM allocation even when chains are clamped.
+		cfg.Width = u
+		t.NoTDC[u] = cfg
+	}
+
+	for w := 3; w <= opts.MaxWidth; w++ {
+		lo, hi, err := selenc.MBand(w)
+		if err != nil {
+			return nil, err
+		}
+		if lo > maxM {
+			break // all wider bands are infeasible too
+		}
+		if hi > maxM {
+			hi = maxM
+		}
+		best := Config{}
+		for _, m := range sampleBand(lo, hi, opts.BandSamples) {
+			cfg, err := EvalTDC(c, m)
+			if err != nil {
+				return nil, err
+			}
+			if cfg.better(best) {
+				best = cfg
+			}
+		}
+		t.TDCExact[w] = best
+	}
+
+	for u := 1; u <= opts.MaxWidth; u++ {
+		best := Config{}
+		if u >= 3 {
+			best = t.TDCBest[u-1]
+			if t.TDCExact[u].better(best) {
+				best = t.TDCExact[u]
+			}
+		}
+		t.TDCBest[u] = best
+		if t.NoTDC[u].better(best) {
+			t.Best[u] = t.NoTDC[u]
+		} else {
+			t.Best[u] = best
+		}
+	}
+	return t, nil
+}
+
+// sampleBand returns the m values to evaluate in [lo, hi]: exhaustive
+// when the band fits within `samples`, else `samples` points spread
+// uniformly and including both edges. samples < 0 means exhaustive.
+func sampleBand(lo, hi, samples int) []int {
+	n := hi - lo + 1
+	if samples < 0 || n <= samples {
+		out := make([]int, 0, n)
+		for m := lo; m <= hi; m++ {
+			out = append(out, m)
+		}
+		return out
+	}
+	if samples == 1 {
+		return []int{hi}
+	}
+	out := make([]int, 0, samples)
+	prev := -1
+	for i := 0; i < samples; i++ {
+		m := lo + (n-1)*i/(samples-1)
+		if m != prev {
+			out = append(out, m)
+			prev = m
+		}
+	}
+	return out
+}
+
+// SweepTDC evaluates every m in [lo, hi] (inclusive, clamped to the
+// core's feasible range) with the decompressor enabled, returning one
+// Config per m in order. This drives the Figure 2 analysis.
+func SweepTDC(c *soc.Core, lo, hi int) ([]Config, error) {
+	if lo < 1 {
+		lo = 1
+	}
+	if maxM := c.MaxWrapperChains(); hi > maxM {
+		hi = maxM
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("core: empty sweep range [%d,%d] for %s", lo, hi, c.Name)
+	}
+	out := make([]Config, 0, hi-lo+1)
+	for m := lo; m <= hi; m++ {
+		cfg, err := EvalTDC(c, m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// Cache memoizes lookup tables across optimizer runs. Tables are keyed
+// by core identity and option set; the zero value is ready to use.
+type Cache struct {
+	mu     sync.Mutex
+	tables map[cacheKey]*Table
+}
+
+type cacheKey struct {
+	core *soc.Core
+	opts TableOptions
+}
+
+// Get returns the memoized table for (c, opts), building it on first
+// use.
+func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	key := cacheKey{core: c, opts: opts}
+	cc.mu.Lock()
+	if t, ok := cc.tables[key]; ok {
+		cc.mu.Unlock()
+		return t, nil
+	}
+	cc.mu.Unlock()
+
+	t, err := BuildTable(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	if cc.tables == nil {
+		cc.tables = make(map[cacheKey]*Table)
+	}
+	cc.tables[key] = t
+	cc.mu.Unlock()
+	return t, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"soctap/internal/selenc"
+	"soctap/internal/soc"
+)
+
+func compressibleCore(seed int64) *soc.Core {
+	chains := make([]int, 32)
+	for i := range chains {
+		chains[i] = 25
+	}
+	return &soc.Core{
+		Name: "compr", Inputs: 20, Outputs: 16,
+		ScanChains: chains, // 800 cells
+		Patterns:   25, CareDensity: 0.03, Clustering: 0.8, DensityDecay: 0.5,
+		Seed: seed,
+	}
+}
+
+func TestBuildTableShape(t *testing.T) {
+	c := compressibleCore(1)
+	tab, err := BuildTable(c, TableOptions{MaxWidth: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.NoTDC) != 25 || len(tab.TDCExact) != 25 || len(tab.TDCBest) != 25 || len(tab.Best) != 25 {
+		t.Fatal("table length wrong")
+	}
+	for u := 1; u <= 24; u++ {
+		if !tab.NoTDC[u].Feasible {
+			t.Errorf("NoTDC[%d] infeasible", u)
+		}
+		if tab.NoTDC[u].Width != u {
+			t.Errorf("NoTDC[%d].Width = %d", u, tab.NoTDC[u].Width)
+		}
+		if !tab.Best[u].Feasible {
+			t.Errorf("Best[%d] infeasible", u)
+		}
+	}
+	// Widths below 3 cannot host a decompressor.
+	if tab.TDCExact[1].Feasible || tab.TDCExact[2].Feasible || tab.TDCBest[2].Feasible {
+		t.Error("TDC feasible below width 3")
+	}
+}
+
+func TestBuildTableInvariants(t *testing.T) {
+	c := compressibleCore(2)
+	tab, err := BuildTable(c, TableOptions{MaxWidth: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 20; u++ {
+		// Best is never worse than either pure option.
+		if tab.NoTDC[u].better(tab.Best[u]) {
+			t.Errorf("Best[%d] worse than NoTDC", u)
+		}
+		if tab.TDCBest[u].better(tab.Best[u]) {
+			t.Errorf("Best[%d] worse than TDCBest", u)
+		}
+		// TDCBest times are non-increasing in width.
+		if u > 1 && tab.TDCBest[u-1].Feasible && tab.TDCBest[u].Time > tab.TDCBest[u-1].Time {
+			t.Errorf("TDCBest time increased from width %d (%d) to %d (%d)",
+				u-1, tab.TDCBest[u-1].Time, u, tab.TDCBest[u].Time)
+		}
+		// Exact-width configurations consume exactly that width.
+		if tab.TDCExact[u].Feasible && tab.TDCExact[u].Width != u {
+			t.Errorf("TDCExact[%d].Width = %d", u, tab.TDCExact[u].Width)
+		}
+		// TDC m always lies in the width's band.
+		if cfg := tab.TDCExact[u]; cfg.Feasible {
+			lo, hi, err := selenc.MBand(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.M < lo || (cfg.M > hi && cfg.M != c.MaxWrapperChains()) {
+				t.Errorf("TDCExact[%d].M = %d outside band [%d,%d]", u, cfg.M, lo, hi)
+			}
+		}
+	}
+	// On this sparse core, compression must win clearly at width >= 8.
+	if tab.Best[8].UseTDC == false {
+		t.Error("sparse core should choose TDC at width 8")
+	}
+	if tab.Best[8].Time*2 > tab.NoTDC[8].Time {
+		t.Errorf("TDC advantage too small: %d vs %d", tab.Best[8].Time, tab.NoTDC[8].Time)
+	}
+}
+
+func TestBuildTableDenseCorePrefersDirectOrTDC(t *testing.T) {
+	// At ~60% care density compression buys little; Best must still be
+	// well-formed and no worse than NoTDC.
+	c := &soc.Core{
+		Name: "dense", Inputs: 20, Outputs: 10, ScanChains: []int{50, 50, 50, 50},
+		Patterns: 15, CareDensity: 0.6, Clustering: 0.3, Seed: 3,
+	}
+	tab, err := BuildTable(c, TableOptions{MaxWidth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 1; u <= 16; u++ {
+		if tab.Best[u].Time > tab.NoTDC[u].Time {
+			t.Errorf("width %d: Best %d worse than NoTDC %d", u, tab.Best[u].Time, tab.NoTDC[u].Time)
+		}
+	}
+}
+
+func TestSampleBand(t *testing.T) {
+	// Exhaustive when band fits.
+	got := sampleBand(10, 14, 48)
+	if len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Errorf("sampleBand(10,14,48) = %v", got)
+	}
+	// Sampled: includes both edges, respects bound, strictly increasing.
+	got = sampleBand(128, 255, 16)
+	if len(got) > 16 || got[0] != 128 || got[len(got)-1] != 255 {
+		t.Errorf("sampleBand(128,255,16) = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("not strictly increasing: %v", got)
+		}
+	}
+	// Negative means exhaustive.
+	if got := sampleBand(1, 100, -1); len(got) != 100 {
+		t.Errorf("exhaustive sample = %d values", len(got))
+	}
+	if got := sampleBand(5, 9, 1); len(got) != 1 || got[0] != 9 {
+		t.Errorf("sampleBand(5,9,1) = %v", got)
+	}
+}
+
+func TestSweepTDC(t *testing.T) {
+	c := compressibleCore(4)
+	cfgs, err := SweepTDC(c, 16, 31) // the w = 7 band: k = ceil(log2(m+1)) = 5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 16 {
+		t.Fatalf("%d configs, want 16", len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		if cfg.M != 16+i || !cfg.Feasible || !cfg.UseTDC {
+			t.Errorf("config %d: %+v", i, cfg)
+		}
+		if cfg.Width != 7 {
+			t.Errorf("m=%d: width %d, want 7", cfg.M, cfg.Width)
+		}
+	}
+	// Clamping to the core's maximum.
+	cfgs, err = SweepTDC(c, c.MaxWrapperChains()-1, c.MaxWrapperChains()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfgs) != 2 {
+		t.Errorf("clamped sweep has %d configs, want 2", len(cfgs))
+	}
+	if _, err := SweepTDC(c, 500, 100); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestCacheMemoizes(t *testing.T) {
+	c := compressibleCore(5)
+	var cache Cache
+	opts := TableOptions{MaxWidth: 12}
+	t1, err := cache.Get(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cache.Get(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("cache rebuilt table for identical key")
+	}
+	t3, err := cache.Get(c, TableOptions{MaxWidth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Error("different options shared a table")
+	}
+}
+
+func TestBuildTableErrors(t *testing.T) {
+	c := compressibleCore(6)
+	if _, err := BuildTable(c, TableOptions{MaxWidth: -1}); err == nil {
+		t.Error("negative MaxWidth accepted")
+	}
+	bad := &soc.Core{Name: "bad", Inputs: 4, Patterns: 3, CareDensity: -1}
+	if _, err := BuildTable(bad, TableOptions{MaxWidth: 8}); err == nil {
+		t.Error("invalid core accepted")
+	}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"soctap/internal/decomp"
+	"soctap/internal/dictenc"
+	"soctap/internal/sched"
+	"soctap/internal/soc"
+	"soctap/internal/tam"
+)
+
+// Style selects the test-access architecture style (Figure 4 of the
+// paper).
+type Style int
+
+const (
+	// StyleNoTDC (Fig. 4a): cores are accessed directly over TAM wires,
+	// no compression.
+	StyleNoTDC Style = iota
+	// StyleTDCPerTAM (Fig. 4b): one decompressor at the head of each
+	// TAM expands the bus onto wide internal wrapper-chain wiring shared
+	// by the cores on that TAM. Cores whose structure cannot use the
+	// bus's expansion band are tested in bypass (no-TDC) mode.
+	StyleTDCPerTAM
+	// StyleTDCPerCore (Fig. 4c, the proposed scheme): each core has its
+	// own decompressor between its wrapper and the TAM; per core, the
+	// optimizer picks compressed or direct access, whichever is faster.
+	StyleTDCPerCore
+)
+
+// String names the style.
+func (s Style) String() string {
+	switch s {
+	case StyleNoTDC:
+		return "no-tdc"
+	case StyleTDCPerTAM:
+		return "tdc-per-tam"
+	case StyleTDCPerCore:
+		return "tdc-per-core"
+	default:
+		return fmt.Sprintf("Style(%d)", int(s))
+	}
+}
+
+// Options controls the SOC-level optimization.
+type Options struct {
+	Style  Style
+	Tables TableOptions
+	// MaxTAMs caps the number of TAM buses explored. Zero defaults to
+	// min(number of cores, W_TAM).
+	MaxTAMs int
+	// MaxIterations bounds hill-climbing rounds per bus count. Zero
+	// defaults to 64.
+	MaxIterations int
+	// Cache, when non-nil, memoizes per-core lookup tables across runs.
+	Cache *Cache
+	// DisableRefinement turns off the wire-moving local search (ablation
+	// knob); only even partitions are considered.
+	DisableRefinement bool
+	// NaiveOrder schedules cores in declaration order instead of
+	// longest-first (ablation knob).
+	NaiveOrder bool
+	// EnableDict extends the per-core choice with dictionary coding
+	// (technique selection, the ATS'08 follow-up). Only meaningful with
+	// StyleTDCPerCore. DictSizes defaults to DefaultDictSizes.
+	EnableDict bool
+	DictSizes  []int
+	// MergeSearch additionally seeds the architecture search with a
+	// bottom-up bus-merging pass (in the spirit of Goel & Marinissen's
+	// TR-Architect): start from many narrow buses and repeatedly merge
+	// the pair that shortens the schedule most. The best of the even-
+	// split and merge-seeded searches wins.
+	MergeSearch bool
+}
+
+// CoreChoice reports the configuration chosen for one core.
+type CoreChoice struct {
+	Core   string
+	Bus    int
+	Start  int64
+	Config Config
+}
+
+// Result is a complete SOC test plan.
+type Result struct {
+	SOC       *soc.SOC
+	Style     Style
+	WTAM      int
+	Partition tam.Partition
+	Schedule  *sched.Schedule
+	Choices   []CoreChoice
+
+	TestTime int64 // schedule makespan in cycles
+	Volume   int64 // total ATE stimulus storage in bits
+
+	// InternalWires counts the wrapper-chain wires behind the
+	// decompressors: the long shared buses of the per-TAM style versus
+	// the short local fan-out of the per-core style. For the no-TDC
+	// style it equals the TAM width.
+	InternalWires int
+	Decompressors int
+	DecompFFs     int
+	DecompGates   int
+
+	// TableSeconds is the time spent building per-core lookup tables
+	// (the "TDC time" the paper excludes from its CPU column);
+	// CPUSeconds is the architecture search and scheduling time.
+	TableSeconds float64
+	CPUSeconds   float64
+}
+
+// Optimize designs a test architecture and schedule for the SOC under a
+// total TAM width budget, following the four-step heuristic of Section 3
+// of the paper: wrapper design and decompression design are captured in
+// the per-core lookup tables; architecture design enumerates bus counts
+// with even splits refined by single-wire moves; scheduling is greedy
+// longest-first.
+func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if wtam < 1 {
+		return nil, fmt.Errorf("core: W_TAM = %d", wtam)
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 64
+	}
+	tabOpts := opts.Tables
+	if tabOpts.MaxWidth == 0 {
+		tabOpts.MaxWidth = wtam
+		if tabOpts.MaxWidth < 64 {
+			tabOpts.MaxWidth = 64
+		}
+	}
+	if tabOpts.MaxWidth < wtam {
+		return nil, fmt.Errorf("core: table MaxWidth %d below W_TAM %d", tabOpts.MaxWidth, wtam)
+	}
+
+	tStart := time.Now()
+	selectors := make([]selector, len(s.Cores))
+	for i, c := range s.Cores {
+		var t *Table
+		var err error
+		if opts.Cache != nil {
+			t, err = opts.Cache.Get(c, tabOpts)
+		} else {
+			t, err = BuildTable(c, tabOpts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if opts.EnableDict && opts.Style == StyleTDCPerCore {
+			sel, err := selectTechniquesWithTable(c, t, opts.DictSizes)
+			if err != nil {
+				return nil, err
+			}
+			selectors[i] = sel.selector()
+		} else {
+			selectors[i] = tableSelector(opts.Style, t)
+		}
+	}
+	tableSeconds := time.Since(tStart).Seconds()
+
+	dur := durationFn(selectors)
+	schedule := func(p tam.Partition) (*sched.Schedule, error) {
+		if opts.NaiveOrder {
+			return sched.InOrder(len(s.Cores), p, dur)
+		}
+		return sched.Greedy(len(s.Cores), p, dur)
+	}
+
+	searchStart := time.Now()
+	kmax := opts.MaxTAMs
+	if kmax <= 0 {
+		kmax = len(s.Cores)
+	}
+	if kmax > wtam {
+		kmax = wtam
+	}
+
+	var bestPart tam.Partition
+	var bestSched *sched.Schedule
+	consider := func(part tam.Partition, cur *sched.Schedule) {
+		if !opts.DisableRefinement {
+			part, cur = refine(part, cur, schedule, opts.MaxIterations)
+		}
+		if bestSched == nil || cur.Makespan < bestSched.Makespan {
+			bestPart, bestSched = part, cur
+		}
+	}
+	for k := 1; k <= kmax; k++ {
+		part, err := tam.Even(wtam, k)
+		if err != nil {
+			return nil, err
+		}
+		cur, err := schedule(part)
+		if err != nil {
+			return nil, fmt.Errorf("core: scheduling %d buses: %w", k, err)
+		}
+		consider(part, cur)
+	}
+	if opts.MergeSearch {
+		part, cur, err := mergeSearch(wtam, kmax, schedule)
+		if err != nil {
+			return nil, err
+		}
+		consider(part, cur)
+	}
+	cpuSeconds := time.Since(searchStart).Seconds()
+
+	res := &Result{
+		SOC:          s,
+		Style:        opts.Style,
+		WTAM:         wtam,
+		Partition:    bestPart,
+		Schedule:     bestSched,
+		TestTime:     bestSched.Makespan,
+		TableSeconds: tableSeconds,
+		CPUSeconds:   cpuSeconds,
+	}
+	fillDetails(res, selectors)
+	return res, nil
+}
+
+// mergeSearch runs the bottom-up pass: start from kmax unit-ish buses
+// and repeatedly merge the pair of buses whose union shortens the
+// schedule most (or hurts it least), keeping the best partition seen.
+func mergeSearch(wtam, kmax int,
+	schedule func(tam.Partition) (*sched.Schedule, error)) (tam.Partition, *sched.Schedule, error) {
+	part, err := tam.Even(wtam, kmax)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err := schedule(part)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: merge search seed: %w", err)
+	}
+	bestPart, bestSched := part, cur
+	for len(part) > 1 {
+		var nextPart tam.Partition
+		var nextSched *sched.Schedule
+		// Widths matter, positions do not: merging bus i into bus j is
+		// characterized by the merged width, so only distinct pairs of
+		// widths need scheduling.
+		tried := map[[2]int]bool{}
+		for i := 0; i < len(part); i++ {
+			for j := i + 1; j < len(part); j++ {
+				key := [2]int{part[i], part[j]}
+				if key[0] > key[1] {
+					key[0], key[1] = key[1], key[0]
+				}
+				if tried[key] {
+					continue
+				}
+				tried[key] = true
+				merged := make(tam.Partition, 0, len(part)-1)
+				merged = append(merged, part[:i]...)
+				merged = append(merged, part[i+1:j]...)
+				merged = append(merged, part[j+1:]...)
+				merged = append(merged, part[i]+part[j])
+				sc, err := schedule(merged)
+				if err != nil {
+					continue
+				}
+				if nextSched == nil || sc.Makespan < nextSched.Makespan {
+					nextPart, nextSched = merged, sc
+				}
+			}
+		}
+		if nextSched == nil {
+			break
+		}
+		part, cur = nextPart, nextSched
+		if cur.Makespan < bestSched.Makespan {
+			bestPart, bestSched = part, cur
+		}
+	}
+	return bestPart, bestSched, nil
+}
+
+// refine hill-climbs over single-wire moves between buses, taking the
+// best improving neighbor each round (partitions deduplicated by
+// canonical key).
+func refine(part tam.Partition, cur *sched.Schedule,
+	schedule func(tam.Partition) (*sched.Schedule, error), maxIter int) (tam.Partition, *sched.Schedule) {
+	seen := map[string]bool{part.Key(): true}
+	for iter := 0; iter < maxIter; iter++ {
+		var bestPart tam.Partition
+		var bestSched *sched.Schedule
+		for from := range part {
+			for to := range part {
+				if from == to {
+					continue
+				}
+				q, err := part.MoveWire(from, to)
+				if err != nil {
+					continue
+				}
+				key := q.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				sc, err := schedule(q)
+				if err != nil {
+					continue
+				}
+				if bestSched == nil || sc.Makespan < bestSched.Makespan {
+					bestPart, bestSched = q, sc
+				}
+			}
+		}
+		if bestSched == nil || bestSched.Makespan >= cur.Makespan {
+			return part, cur
+		}
+		part, cur = bestPart, bestSched
+	}
+	return part, cur
+}
+
+// selector resolves the configuration one core uses on a bus of a given
+// width.
+type selector func(width int) Config
+
+// tableSelector adapts a lookup table to a selector under a style.
+func tableSelector(style Style, t *Table) selector {
+	return func(width int) Config { return chooseConfig(style, t, width) }
+}
+
+// selector adapts a technique selection to the optimizer.
+func (ts *TechSelection) selector() selector {
+	return func(width int) Config {
+		if width < 1 {
+			return Config{}
+		}
+		if width >= len(ts.PerWidth) {
+			width = len(ts.PerWidth) - 1
+		}
+		return ts.PerWidth[width]
+	}
+}
+
+// durationFn builds the scheduler's duration callback.
+func durationFn(selectors []selector) sched.Duration {
+	return func(c, width int) int64 {
+		cfg := selectors[c](width)
+		if !cfg.Feasible {
+			return 0
+		}
+		return cfg.Time
+	}
+}
+
+// chooseConfig resolves the configuration a core uses on a bus of the
+// given width under a style.
+func chooseConfig(style Style, t *Table, width int) Config {
+	if width < 1 {
+		return Config{}
+	}
+	if width > t.Opts.MaxWidth {
+		width = t.Opts.MaxWidth
+	}
+	switch style {
+	case StyleNoTDC:
+		return t.NoTDC[width]
+	case StyleTDCPerTAM:
+		// The TAM-head decompressor consumes the full bus width; cores
+		// that cannot use the expansion band run in bypass mode.
+		if cfg := t.TDCExact[width]; cfg.Feasible {
+			return cfg
+		}
+		return t.NoTDC[width]
+	case StyleTDCPerCore:
+		return t.Best[width]
+	default:
+		return Config{}
+	}
+}
+
+// fillDetails derives volumes, choices and hardware accounting from the
+// winning schedule.
+func fillDetails(res *Result, selectors []selector) {
+	res.Choices = make([]CoreChoice, 0, len(res.SOC.Cores))
+	// Per-bus widest decompressor output for the per-TAM style.
+	busM := make([]int, len(res.Partition))
+
+	for _, it := range res.Schedule.Items {
+		cfg := selectors[it.Core](res.Partition[it.Bus])
+		res.Choices = append(res.Choices, CoreChoice{
+			Core:   res.SOC.Cores[it.Core].Name,
+			Bus:    it.Bus,
+			Start:  it.Start,
+			Config: cfg,
+		})
+		res.Volume += cfg.Volume
+		if cfg.UseTDC {
+			switch res.Style {
+			case StyleTDCPerCore:
+				res.InternalWires += cfg.M
+				res.Decompressors++
+				if cfg.Codec == CodecDict {
+					hc := dictenc.CostFor(cfg.M, cfg.DictWords)
+					res.DecompFFs += hc.FFs
+					res.DecompGates += hc.Gates + hc.SRAMBits/8 // SRAM counted as gate equivalents
+				} else {
+					hc := decomp.HardwareCost(cfg.M)
+					res.DecompFFs += hc.FlipFlops
+					res.DecompGates += hc.Gates
+				}
+			case StyleTDCPerTAM:
+				if cfg.M > busM[it.Bus] {
+					busM[it.Bus] = cfg.M
+				}
+			}
+		}
+	}
+	switch res.Style {
+	case StyleNoTDC:
+		res.InternalWires = res.Partition.TotalWidth()
+	case StyleTDCPerTAM:
+		for _, m := range busM {
+			if m == 0 {
+				continue
+			}
+			res.InternalWires += m
+			res.Decompressors++
+			hc := decomp.HardwareCost(m)
+			res.DecompFFs += hc.FlipFlops
+			res.DecompGates += hc.Gates
+		}
+	}
+}

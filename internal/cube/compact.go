@@ -1,0 +1,67 @@
+package cube
+
+import "sort"
+
+// Compact performs greedy static compaction of a cube set: compatible
+// cubes (agreeing on all commonly specified bits) are merged into one,
+// reducing the pattern count — the standard ATPG post-processing step
+// that precedes test planning. The result is a new set; the input is
+// not modified.
+//
+// The greedy order processes densest cubes first and merges each
+// remaining cube into the first compatible survivor, which is the usual
+// fast O(n²·cost) heuristic. Fault coverage is preserved in the
+// conventional sense: every original cube is covered by (compatible
+// with and contained in) some merged cube.
+func Compact(s *Set) *Set {
+	order := make([]int, len(s.Cubes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(s.Cubes[order[a]].Care) > len(s.Cubes[order[b]].Care)
+	})
+
+	out := NewSet(s.NumBits)
+	for _, idx := range order {
+		c := s.Cubes[idx]
+		merged := false
+		for i, surv := range out.Cubes {
+			if surv.CompatibleWith(c) {
+				m, err := surv.Merge(c)
+				if err != nil {
+					continue // cannot happen for compatible cubes
+				}
+				out.Cubes[i] = m
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out.Cubes = append(out.Cubes, c.Clone())
+		}
+	}
+	return out
+}
+
+// CoversAll reports whether every cube of orig is covered by some cube
+// of compacted — the compaction soundness criterion.
+func CoversAll(compacted, orig *Set) bool {
+	if compacted.NumBits != orig.NumBits {
+		return false
+	}
+	for _, c := range orig.Cubes {
+		ct := c.ToTrits()
+		found := false
+		for _, m := range compacted.Cubes {
+			if m.ToTrits().Covers(ct) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

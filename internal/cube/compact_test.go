@@ -1,0 +1,105 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactMergesCompatible(t *testing.T) {
+	s := NewSet(8)
+	a := NewCube(8)
+	a.Set(0, true)
+	a.Set(3, false)
+	b := NewCube(8)
+	b.Set(3, false)
+	b.Set(5, true)
+	c := NewCube(8)
+	c.Set(0, false) // conflicts with a
+	for _, x := range []*Cube{a, b, c} {
+		if err := s.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := Compact(s)
+	if out.Len() != 2 {
+		t.Fatalf("compacted to %d cubes, want 2", out.Len())
+	}
+	if !CoversAll(out, s) {
+		t.Error("compaction lost coverage")
+	}
+}
+
+func TestCompactSparseSetShrinks(t *testing.T) {
+	// Very sparse random cubes are mostly mutually compatible, so
+	// compaction must shrink the set substantially.
+	s, err := Generate(GenSpec{NumBits: 5000, Patterns: 80, Density: 0.004, Clustering: 0.3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Compact(s)
+	if out.Len() >= s.Len()/2 {
+		t.Errorf("sparse set compacted %d -> %d; expected at least 2x", s.Len(), out.Len())
+	}
+	if !CoversAll(out, s) {
+		t.Error("compaction lost coverage")
+	}
+}
+
+func TestCompactDenseSetStable(t *testing.T) {
+	// Fully-specified random cubes are almost never compatible; the set
+	// should barely shrink and never grow.
+	s, err := Generate(GenSpec{NumBits: 200, Patterns: 30, Density: 1, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Compact(s)
+	if out.Len() > s.Len() {
+		t.Error("compaction grew the set")
+	}
+	if !CoversAll(out, s) {
+		t.Error("coverage lost")
+	}
+}
+
+func TestCompactDoesNotMutateInput(t *testing.T) {
+	s, _ := Generate(GenSpec{NumBits: 100, Patterns: 10, Density: 0.05, Seed: 10})
+	before := make([]int, s.Len())
+	for i, c := range s.Cubes {
+		before[i] = c.CareCount()
+	}
+	_ = Compact(s)
+	for i, c := range s.Cubes {
+		if c.CareCount() != before[i] {
+			t.Fatalf("cube %d mutated by Compact", i)
+		}
+	}
+}
+
+// Property: compaction preserves coverage and every merged cube's care
+// count is at most the sum of its constituents (sanity).
+func TestQuickCompactSound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := Generate(GenSpec{
+			NumBits:  rng.Intn(300) + 20,
+			Patterns: rng.Intn(30) + 2,
+			Density:  0.01 + rng.Float64()*0.3,
+			Seed:     seed,
+		})
+		if err != nil {
+			return false
+		}
+		out := Compact(s)
+		return out.Len() <= s.Len() && out.Len() >= 1 && CoversAll(out, s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoversAllWidthMismatch(t *testing.T) {
+	if CoversAll(NewSet(4), NewSet(5)) {
+		t.Error("width mismatch reported as covering")
+	}
+}

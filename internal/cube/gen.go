@@ -1,0 +1,290 @@
+package cube
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenSpec parameterizes the deterministic synthetic cube generator. The
+// generator imitates the statistical structure of ATPG-compacted test
+// cubes for scan designs:
+//
+//   - care bits cluster around logic "cones" (structurally related scan
+//     cells) rather than spreading uniformly;
+//   - early patterns are dense (they target many easy faults after
+//     static compaction), late patterns are sparse top-offs;
+//   - specified values are locally correlated (a cone tends to be
+//     justified with runs of equal values).
+//
+// When the scan Geometry is provided, cones are placed in (scan chain,
+// depth) coordinates: a cluster occupies a small rectangle of adjacent
+// scan chains at nearby scan depths. This is the scan-slice clustering
+// regime that slice-based compression schemes (selective encoding, LFSR
+// reseeding with scan slices) are designed to exploit, and matches the
+// published behaviour of industrial compression-ready cores. Without
+// geometry, clusters are placed over flat cell indices.
+//
+// All randomness derives from Seed, so a spec always generates the same
+// test set.
+type GenSpec struct {
+	NumBits  int     // stimulus bits per pattern (wrapper inputs + scan cells)
+	Patterns int     // number of test cubes
+	Density  float64 // target mean care-bit density over the whole set, (0,1]
+	// DensityDecay controls how much denser early patterns are than late
+	// ones. 0 means uniform; 1 means the first pattern is roughly 3x the
+	// density of the last. Values outside [0,1] are clamped.
+	DensityDecay float64
+	// Clustering in [0,1]: 0 scatters care bits uniformly, 1 concentrates
+	// them tightly around a few cone centers.
+	Clustering float64
+	// OneBias is the probability that a cone's dominant value is 1.
+	// Within a cone, ~85% of care bits take the dominant value.
+	OneBias float64
+	Seed    int64
+
+	// Geometry optionally lists the core's scan chain lengths; the flat
+	// stimulus layout is then [IOCells wrapper-input cells][chain 0]
+	// [chain 1]... and clusters span adjacent chains at equal depth.
+	Geometry []int
+	// IOCells is the number of leading flat positions holding wrapper
+	// input cells (only meaningful with Geometry).
+	IOCells int
+}
+
+// Validate checks the spec for consistency.
+func (g GenSpec) Validate() error {
+	if g.NumBits <= 0 {
+		return fmt.Errorf("cube: GenSpec.NumBits = %d, must be > 0", g.NumBits)
+	}
+	if g.Patterns <= 0 {
+		return fmt.Errorf("cube: GenSpec.Patterns = %d, must be > 0", g.Patterns)
+	}
+	if g.Density <= 0 || g.Density > 1 {
+		return fmt.Errorf("cube: GenSpec.Density = %g, must be in (0,1]", g.Density)
+	}
+	if len(g.Geometry) > 0 {
+		total := g.IOCells
+		for i, l := range g.Geometry {
+			if l <= 0 {
+				return fmt.Errorf("cube: GenSpec.Geometry[%d] = %d", i, l)
+			}
+			total += l
+		}
+		if g.IOCells < 0 || total != g.NumBits {
+			return fmt.Errorf("cube: geometry covers %d cells, NumBits is %d", total, g.NumBits)
+		}
+	}
+	return nil
+}
+
+// Generate produces the deterministic synthetic test set described by
+// the spec.
+func Generate(g GenSpec) (*Set, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	decay := clamp01(g.DensityDecay)
+	clustering := clamp01(g.Clustering)
+	oneBias := g.OneBias
+	if oneBias <= 0 || oneBias >= 1 {
+		oneBias = 0.4 // ATPG cubes skew slightly toward 0 justification
+	}
+
+	rng := rand.New(rand.NewSource(g.Seed))
+	set := NewSet(g.NumBits)
+
+	var chainStart []int
+	if len(g.Geometry) > 0 {
+		chainStart = make([]int, len(g.Geometry))
+		off := g.IOCells
+		for i, l := range g.Geometry {
+			chainStart[i] = off
+			off += l
+		}
+	}
+
+	// Per-pattern density profile: d(i) = base * (1 + decay*(1 - 2*i/p))
+	// so the mean over the set equals g.Density; with decay=1 the first
+	// pattern is ~2x the mean and the tail ~0.5x.
+	for i := 0; i < g.Patterns; i++ {
+		frac := 0.0
+		if g.Patterns > 1 {
+			frac = float64(i) / float64(g.Patterns-1)
+		}
+		d := g.Density * (1 + decay*(1-2*frac))
+		if d <= 0 {
+			d = g.Density * 0.05
+		}
+		if d > 1 {
+			d = 1
+		}
+		nCare := int(math.Round(d * float64(g.NumBits)))
+		if nCare < 1 {
+			nCare = 1
+		}
+		if nCare > g.NumBits {
+			nCare = g.NumBits
+		}
+		var c *Cube
+		if chainStart != nil {
+			c = genScanCube(rng, g, chainStart, nCare, clustering, oneBias)
+		} else {
+			c = genFlatCube(rng, g.NumBits, nCare, clustering, oneBias)
+		}
+		set.Cubes = append(set.Cubes, c)
+	}
+	return set, nil
+}
+
+// genScanCube places clusters in (chain, depth) coordinates: each
+// cluster is a rectangle of adjacent chains at nearby depths, the
+// scan-slice clustering regime. IO cells receive a proportional share of
+// uniformly scattered care bits.
+func genScanCube(rng *rand.Rand, g GenSpec, chainStart []int, nCare int, clustering, oneBias float64) *Cube {
+	c := NewCube(g.NumBits)
+	seen := make(map[int]bool, nCare)
+	nChains := len(g.Geometry)
+
+	// IO share of the care bits, scattered uniformly.
+	ioCare := 0
+	if g.IOCells > 0 {
+		ioCare = nCare * g.IOCells / g.NumBits
+	}
+	placed := 0
+	for tries := 0; placed < ioCare && tries < ioCare*40; tries++ {
+		pos := rng.Intn(g.IOCells)
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		c.Set(pos, rng.Float64() < oneBias)
+		placed++
+	}
+
+	// Cluster shape: span across chains shrinks as clustering weakens
+	// (scattering degenerates to single cells).
+	meanSpan := 2 + clustering*14 // chains per cluster at full clustering: ~16
+	for attempts := 0; placed < nCare && attempts < nCare*40; attempts++ {
+		span := 1 + rng.Intn(int(meanSpan))
+		if span > nChains {
+			span = nChains
+		}
+		c0 := rng.Intn(nChains - span + 1)
+		depthSpan := 1 + rng.Intn(2)
+		// Depth anchored within the shortest chain of the rectangle.
+		minLen := g.Geometry[c0]
+		for ch := c0; ch < c0+span; ch++ {
+			if g.Geometry[ch] < minLen {
+				minLen = g.Geometry[ch]
+			}
+		}
+		if minLen <= depthSpan {
+			depthSpan = 1
+		}
+		d0 := rng.Intn(maxInt(1, minLen-depthSpan+1))
+		domVal := rng.Float64() < oneBias
+		for ch := c0; ch < c0+span && placed < nCare; ch++ {
+			for dd := 0; dd < depthSpan && placed < nCare; dd++ {
+				d := d0 + dd
+				if d >= g.Geometry[ch] {
+					continue
+				}
+				// Clusters are dense but not solid.
+				if rng.Float64() > 0.8 {
+					continue
+				}
+				pos := chainStart[ch] + d
+				if seen[pos] {
+					continue
+				}
+				seen[pos] = true
+				v := domVal
+				if rng.Float64() > 0.85 {
+					v = !v
+				}
+				c.Set(pos, v)
+				placed++
+			}
+		}
+	}
+	fillRemaining(rng, c, seen, g.NumBits, nCare, &placed, oneBias)
+	return c
+}
+
+// genFlatCube draws one cube with nCare specified bits clustered over
+// flat cell indices.
+func genFlatCube(rng *rand.Rand, numBits, nCare int, clustering, oneBias float64) *Cube {
+	c := NewCube(numBits)
+	seen := make(map[int]bool, nCare)
+
+	// Number of cone centers: fewer cones = stronger clustering. At
+	// clustering=0 every care bit is its own "cone" (uniform scatter).
+	nCones := 1 + int(float64(nCare)*math.Pow(1-clustering, 2))
+	if nCones > nCare {
+		nCones = nCare
+	}
+	type cone struct {
+		center int
+		spread float64
+		domVal bool
+	}
+	cones := make([]cone, nCones)
+	for i := range cones {
+		cones[i] = cone{
+			center: rng.Intn(numBits),
+			// Tight spreads at high clustering: ~0.2% of the core at
+			// clustering=1, ~20% at clustering=0.
+			spread: float64(numBits) * (0.002 + 0.2*(1-clustering)),
+			domVal: rng.Float64() < oneBias,
+		}
+	}
+
+	placed := 0
+	for attempts := 0; placed < nCare && attempts < nCare*50; attempts++ {
+		co := cones[rng.Intn(nCones)]
+		pos := co.center + int(rng.NormFloat64()*co.spread)
+		if pos < 0 || pos >= numBits || seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		v := co.domVal
+		if rng.Float64() > 0.85 {
+			v = !v
+		}
+		c.Set(pos, v)
+		placed++
+	}
+	fillRemaining(rng, c, seen, numBits, nCare, &placed, oneBias)
+	return c
+}
+
+// fillRemaining linearly scans for free cells when random placement
+// saturates (tiny cores or density ~1).
+func fillRemaining(rng *rand.Rand, c *Cube, seen map[int]bool, numBits, nCare int, placed *int, oneBias float64) {
+	for pos := 0; *placed < nCare && pos < numBits; pos++ {
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		c.Set(pos, rng.Float64() < oneBias)
+		*placed++
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,261 @@
+// Package dictenc implements dictionary-based test-data compression
+// over scan slices with fixed-length indices, after Li & Chakrabarty
+// ("Test Data Compression Using Dictionaries with Fixed-Length
+// Indices"). It is the second core-level compression technique of this
+// library and powers the per-core *technique selection* extension (the
+// authors' ATS'08 follow-up to the reproduced DATE'08 paper): for every
+// core, the planner may pick direct access, selective encoding, or
+// dictionary coding, whichever minimizes test time.
+//
+// Scheme: the test set is sliced exactly as for selective encoding (one
+// m-bit slice per scan cycle per wrapper chain set). A dictionary of D
+// fully-specified m-bit words is built from the slices' care-bit
+// signatures by greedy compatibility merging. Each slice is then
+// encoded as either
+//
+//	0 <index>      (1 + ceil(log2 D) bits)  if a dictionary word covers it
+//	1 <literal>    (1 + m bits)             otherwise
+//
+// The decompressor is a D×m-bit SRAM plus a serializer; compressed bits
+// are delivered over w TAM wires at w bits per cycle, with the core's
+// scan depth as the per-pattern floor.
+package dictenc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"soctap/internal/bitvec"
+	"soctap/internal/selenc"
+)
+
+// Dictionary is a set of fully-specified m-bit words used to encode
+// scan slices.
+type Dictionary struct {
+	M     int
+	Words []*bitvec.Vector
+}
+
+// IndexBits returns the index field width, ceil(log2(len(Words))), at
+// least 1.
+func (d *Dictionary) IndexBits() int {
+	if len(d.Words) <= 1 {
+		return 1
+	}
+	return bits.Len(uint(len(d.Words) - 1))
+}
+
+// entry is a dictionary word under construction: the merged cube of all
+// slices assigned to it.
+type entry struct {
+	care  *bitvec.TritVector
+	count int
+}
+
+// Slice is one scan slice: the care bits over m positions, sorted by
+// position. It reuses selenc's CareBit representation so both codecs
+// share slice extraction.
+type Slice = []selenc.CareBit
+
+// Build constructs a dictionary with at most maxWords words for the
+// given slices using greedy compatibility merging: each slice joins the
+// first existing entry it is compatible with (first-fit over entries
+// ordered by creation); when no entry fits and the dictionary is not
+// full, the slice founds a new entry. Entries are finalized by filling
+// X positions with 0.
+//
+// The greedy pass is deterministic in the slice order. maxWords must be
+// at least 1.
+func Build(m, maxWords int, slices []Slice) (*Dictionary, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("dictenc: slice width %d", m)
+	}
+	if maxWords < 1 {
+		return nil, fmt.Errorf("dictenc: dictionary size %d", maxWords)
+	}
+	var entries []*entry
+	for _, s := range slices {
+		tv := sliceTrits(m, s)
+		placed := false
+		for _, e := range entries {
+			if e.care.CompatibleWith(tv) {
+				merged := mergeInto(e.care, tv)
+				e.care = merged
+				e.count++
+				placed = true
+				break
+			}
+		}
+		if !placed && len(entries) < maxWords {
+			entries = append(entries, &entry{care: tv, count: 1})
+		}
+	}
+	if len(entries) == 0 {
+		entries = append(entries, &entry{care: bitvec.NewTrit(m)})
+	}
+	d := &Dictionary{M: m}
+	for _, e := range entries {
+		w := bitvec.New(m)
+		for i := 0; i < m; i++ {
+			if e.care.Get(i) == bitvec.One {
+				w.Set(i, true)
+			}
+		}
+		d.Words = append(d.Words, w)
+	}
+	return d, nil
+}
+
+func sliceTrits(m int, s Slice) *bitvec.TritVector {
+	tv := bitvec.NewTrit(m)
+	for _, cb := range s {
+		if cb.Value {
+			tv.Set(cb.Pos, bitvec.One)
+		} else {
+			tv.Set(cb.Pos, bitvec.Zero)
+		}
+	}
+	return tv
+}
+
+func mergeInto(a, b *bitvec.TritVector) *bitvec.TritVector {
+	merged := a.Clone()
+	for i := 0; i < b.Len(); i++ {
+		if t := b.Get(i); t != bitvec.DontCare {
+			merged.Set(i, t)
+		}
+	}
+	return merged
+}
+
+// Covers reports whether dictionary word idx covers the slice (agrees
+// with every care bit).
+func (d *Dictionary) Covers(idx int, s Slice) bool {
+	w := d.Words[idx]
+	for _, cb := range s {
+		if w.Get(cb.Pos) != cb.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// Match returns the first dictionary word covering the slice, or -1.
+func (d *Dictionary) Match(s Slice) int {
+	for i := range d.Words {
+		if d.Covers(i, s) {
+			return i
+		}
+	}
+	return -1
+}
+
+// EncodedBits returns the exact compressed size in bits of one slice:
+// 1 + IndexBits() on a dictionary hit, 1 + M on a miss.
+func (d *Dictionary) EncodedBits(s Slice) int {
+	if d.Match(s) >= 0 {
+		return 1 + d.IndexBits()
+	}
+	return 1 + d.M
+}
+
+// Encode appends the slice's code to the bit stream and returns the
+// extended stream.
+func (d *Dictionary) Encode(stream []bool, s Slice) []bool {
+	if idx := d.Match(s); idx >= 0 {
+		stream = append(stream, false)
+		ib := d.IndexBits()
+		for b := 0; b < ib; b++ {
+			stream = append(stream, idx&(1<<uint(b)) != 0)
+		}
+		return stream
+	}
+	stream = append(stream, true)
+	tv := sliceTrits(d.M, s)
+	for i := 0; i < d.M; i++ {
+		stream = append(stream, tv.Get(i) == bitvec.One)
+	}
+	return stream
+}
+
+// Decode consumes one slice code from the stream starting at offset,
+// returning the decoded m-bit slice and the new offset.
+func (d *Dictionary) Decode(stream []bool, offset int) (*bitvec.Vector, int, error) {
+	if offset >= len(stream) {
+		return nil, 0, fmt.Errorf("dictenc: stream exhausted at offset %d", offset)
+	}
+	if !stream[offset] { // dictionary hit
+		ib := d.IndexBits()
+		if offset+1+ib > len(stream) {
+			return nil, 0, fmt.Errorf("dictenc: truncated index at offset %d", offset)
+		}
+		idx := 0
+		for b := 0; b < ib; b++ {
+			if stream[offset+1+b] {
+				idx |= 1 << uint(b)
+			}
+		}
+		if idx >= len(d.Words) {
+			return nil, 0, fmt.Errorf("dictenc: index %d out of range", idx)
+		}
+		return d.Words[idx].Clone(), offset + 1 + ib, nil
+	}
+	if offset+1+d.M > len(stream) {
+		return nil, 0, fmt.Errorf("dictenc: truncated literal at offset %d", offset)
+	}
+	v := bitvec.New(d.M)
+	for i := 0; i < d.M; i++ {
+		v.Set(i, stream[offset+1+i])
+	}
+	return v, offset + 1 + d.M, nil
+}
+
+// Stats summarizes an encoding run.
+type Stats struct {
+	Slices int
+	Hits   int
+	Bits   int64
+}
+
+// Measure encodes all slices (without materializing the stream) and
+// returns hit/size statistics.
+func (d *Dictionary) Measure(slices []Slice) Stats {
+	st := Stats{Slices: len(slices)}
+	ib := int64(d.IndexBits())
+	for _, s := range slices {
+		if d.Match(s) >= 0 {
+			st.Hits++
+			st.Bits += 1 + ib
+		} else {
+			st.Bits += 1 + int64(d.M)
+		}
+	}
+	return st
+}
+
+// HardwareCost estimates the decompressor cost: the dictionary SRAM in
+// bits plus a small controller.
+type HardwareCost struct {
+	SRAMBits int
+	Gates    int
+	FFs      int
+}
+
+// Cost returns the hardware estimate for the dictionary.
+func (d *Dictionary) Cost() HardwareCost {
+	return CostFor(d.M, len(d.Words))
+}
+
+// CostFor estimates the decompressor hardware for a dictionary of
+// `words` entries over m-bit slices without materializing it.
+func CostFor(m, words int) HardwareCost {
+	ib := 1
+	if words > 1 {
+		ib = bits.Len(uint(words - 1))
+	}
+	return HardwareCost{
+		SRAMBits: words * m,
+		Gates:    40 + 4*ib,
+		FFs:      m + ib + 6,
+	}
+}

@@ -1,0 +1,247 @@
+package dictenc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soctap/internal/bitvec"
+	"soctap/internal/selenc"
+)
+
+func mkSlice(pairs ...int) Slice {
+	// pairs of (pos, value01)
+	var s Slice
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s = append(s, selenc.CareBit{Pos: pairs[i], Value: pairs[i+1] == 1})
+	}
+	return s
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(0, 4, nil); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := Build(8, 0, nil); err == nil {
+		t.Error("maxWords=0 accepted")
+	}
+	d, err := Build(8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Words) != 1 {
+		t.Errorf("empty build should give one all-zero word, got %d", len(d.Words))
+	}
+}
+
+func TestBuildMergesCompatibleSlices(t *testing.T) {
+	slices := []Slice{
+		mkSlice(0, 1, 2, 0),
+		mkSlice(0, 1, 3, 1), // compatible with first
+		mkSlice(0, 0),       // conflicts on bit 0 -> new entry
+	}
+	d, err := Build(8, 4, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Words) != 2 {
+		t.Fatalf("%d words, want 2", len(d.Words))
+	}
+	// Word 0 must cover the first two slices; word 1 the third.
+	if !d.Covers(0, slices[0]) || !d.Covers(0, slices[1]) {
+		t.Error("word 0 does not cover its clique")
+	}
+	if !d.Covers(1, slices[2]) {
+		t.Error("word 1 does not cover its slice")
+	}
+	if d.Match(slices[2]) != 1 {
+		t.Errorf("Match = %d, want 1", d.Match(slices[2]))
+	}
+}
+
+func TestBuildRespectsCapacity(t *testing.T) {
+	// Mutually incompatible slices: only maxWords entries are created,
+	// the rest must miss.
+	var slices []Slice
+	for i := 0; i < 10; i++ {
+		s := Slice{}
+		for b := 0; b < 10; b++ {
+			s = append(s, selenc.CareBit{Pos: b, Value: b == i})
+		}
+		slices = append(slices, s)
+	}
+	d, err := Build(10, 4, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Words) != 4 {
+		t.Fatalf("%d words, want 4", len(d.Words))
+	}
+	st := d.Measure(slices)
+	if st.Hits != 4 {
+		t.Errorf("%d hits, want 4", st.Hits)
+	}
+	// 4 hits at 1+2 bits (ceil(log2 4) = 2), 6 misses at 1+10 bits.
+	if st.Bits != 4*3+6*11 {
+		t.Errorf("Bits = %d, want %d", st.Bits, 4*3+6*11)
+	}
+}
+
+func TestIndexBits(t *testing.T) {
+	cases := []struct{ words, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {16, 4}, {17, 5},
+	}
+	for _, c := range cases {
+		d := &Dictionary{M: 4, Words: make([]*bitvec.Vector, c.words)}
+		if got := d.IndexBits(); got != c.want {
+			t.Errorf("IndexBits(%d words) = %d, want %d", c.words, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := 24
+	var slices []Slice
+	for i := 0; i < 60; i++ {
+		var s Slice
+		for pos := 0; pos < m; pos++ {
+			if rng.Float64() < 0.2 {
+				s = append(s, selenc.CareBit{Pos: pos, Value: rng.Intn(2) == 1})
+			}
+		}
+		slices = append(slices, s)
+	}
+	d, err := Build(m, 8, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []bool
+	for _, s := range slices {
+		stream = append(stream, d.Encode(nil, s)...)
+	}
+	off := 0
+	for i, s := range slices {
+		v, next, err := d.Decode(stream, off)
+		if err != nil {
+			t.Fatalf("slice %d: %v", i, err)
+		}
+		for _, cb := range s {
+			if v.Get(cb.Pos) != cb.Value {
+				t.Fatalf("slice %d: care bit %d = %v, want %v", i, cb.Pos, v.Get(cb.Pos), cb.Value)
+			}
+		}
+		off = next
+	}
+	if off != len(stream) {
+		t.Errorf("decoded %d of %d stream bits", off, len(stream))
+	}
+	// Measure agrees with the materialized stream.
+	if st := d.Measure(slices); st.Bits != int64(len(stream)) {
+		t.Errorf("Measure.Bits = %d, stream = %d", st.Bits, len(stream))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	d, _ := Build(8, 2, []Slice{mkSlice(0, 1), mkSlice(0, 0, 1, 1)})
+	if _, _, err := d.Decode(nil, 0); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, _, err := d.Decode([]bool{false}, 0); err == nil {
+		t.Error("truncated index accepted")
+	}
+	if _, _, err := d.Decode([]bool{true, false}, 0); err == nil {
+		t.Error("truncated literal accepted")
+	}
+}
+
+// Property: every encoded slice decodes to a vector covering its care
+// bits, and hits never exceed slice count.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(40) + 2
+		maxWords := rng.Intn(15) + 1
+		var slices []Slice
+		for i := 0; i < rng.Intn(40)+1; i++ {
+			var s Slice
+			for pos := 0; pos < m; pos++ {
+				if rng.Float64() < 0.3 {
+					s = append(s, selenc.CareBit{Pos: pos, Value: rng.Intn(2) == 1})
+				}
+			}
+			slices = append(slices, s)
+		}
+		d, err := Build(m, maxWords, slices)
+		if err != nil || len(d.Words) > maxWords {
+			return false
+		}
+		st := d.Measure(slices)
+		if st.Hits > st.Slices {
+			return false
+		}
+		var stream []bool
+		for _, s := range slices {
+			stream = d.Encode(stream, s)
+		}
+		if int64(len(stream)) != st.Bits {
+			return false
+		}
+		off := 0
+		for _, s := range slices {
+			v, next, err := d.Decode(stream, off)
+			if err != nil {
+				return false
+			}
+			for _, cb := range s {
+				if v.Get(cb.Pos) != cb.Value {
+					return false
+				}
+			}
+			off = next
+		}
+		return off == len(stream)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepetitiveSlicesCompressWell(t *testing.T) {
+	// Highly repetitive slices (few distinct signatures) should be
+	// nearly all hits.
+	var slices []Slice
+	for i := 0; i < 100; i++ {
+		switch i % 3 {
+		case 0:
+			slices = append(slices, mkSlice(0, 1, 5, 0))
+		case 1:
+			slices = append(slices, mkSlice(1, 1, 6, 1))
+		default:
+			slices = append(slices, mkSlice(2, 0))
+		}
+	}
+	d, err := Build(32, 4, slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := d.Measure(slices)
+	if st.Hits != 100 {
+		t.Errorf("%d hits, want 100", st.Hits)
+	}
+	// 100 slices × (1 + 2 index bits) << raw 100×32.
+	if st.Bits >= 100*8 {
+		t.Errorf("compressed to %d bits, expected < 800", st.Bits)
+	}
+}
+
+func TestCost(t *testing.T) {
+	d, _ := Build(64, 16, nil)
+	c := d.Cost()
+	if c.SRAMBits != len(d.Words)*64 {
+		t.Errorf("SRAMBits = %d", c.SRAMBits)
+	}
+	if c.Gates <= 0 || c.FFs <= 0 {
+		t.Error("degenerate cost")
+	}
+}

@@ -1,0 +1,26 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md's experiment index). Each experiment
+// returns a structured result and can render itself in the paper's
+// layout; cmd/repro and the repository's benchmark harness are thin
+// wrappers around these functions.
+//
+// Absolute cycle counts differ from the paper (the industrial cores are
+// documented synthetic stand-ins), but each experiment's *shape* — who
+// wins, by what factor, where the non-monotonicities fall — is the
+// reproduction target, recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"soctap/internal/core"
+)
+
+// sharedCache is used by default so that consecutive experiments (and
+// benchmark iterations) reuse per-core lookup tables.
+var sharedCache core.Cache
+
+// SharedCache exposes the process-wide table cache.
+func SharedCache() *core.Cache { return &sharedCache }
+
+// tableWidth is the lookup-table width used across experiments: wide
+// enough for every W_TAM the paper sweeps.
+const tableWidth = 64

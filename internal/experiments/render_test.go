@@ -1,0 +1,75 @@
+package experiments
+
+// Render tests on canned data — no optimization runs, so these stay
+// fast regardless of -short.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationRender(t *testing.T) {
+	r := &AblationResult{Rows: []AblationRow{
+		{Name: "thing", Metric: "time", Baseline: 100, Ablated: 112, Ratio: 1.12},
+	}}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"thing", "1.120", "Design-choice ablations"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestVerifyRender(t *testing.T) {
+	r := &VerifyResult{Designs: []string{"d695"}, Cores: 10}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "verified 10 core plans") {
+		t.Errorf("unexpected render:\n%s", buf.String())
+	}
+}
+
+func TestTab1Render(t *testing.T) {
+	r := &Tab1Result{Rows: []Tab1Row{
+		{Design: "d695", WATE: 16, Time18: 100, TimeOurs: 150, Ratio18: 1.5},
+		{Design: "d695", WATE: 32, Time18: 80, Time11: 200, TimeOurs: 120, Ratio18: 1.5, Ratio11: 0.6},
+	}}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "n.a.") {
+		t.Error("missing n.a. for absent [11] row")
+	}
+	if !strings.Contains(out, "0.60") {
+		t.Error("missing ratio")
+	}
+}
+
+func TestTab3RenderAverages(t *testing.T) {
+	r := &Tab3Result{
+		Rows: []Tab3Row{{
+			Design: "SystemX", Gates: 1000000, InitialVolume: 2_000_000, WTAM: 32,
+			TimeNoTDC: 100000, VolNoTDC: 2_000_000, TimeTDC: 10000, VolTDC: 200_000,
+			TimeRatio: 10, VolRatioVi: 10, VolRatioVnc: 10, Industrial: true,
+		}},
+		AvgTimeRatio: 10, AvgTimeRatioInd: 10, AvgVolRatio: 10, AvgVolRatioInd: 10,
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"SystemX", "average time reduction", "10.00x", "paper: 12.59x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package power
+
+import (
+	"testing"
+
+	"soctap/internal/soc"
+)
+
+func powerCore(seed int64, density float64) *soc.Core {
+	chains := make([]int, 10)
+	for i := range chains {
+		chains[i] = 30
+	}
+	return &soc.Core{
+		Name: "p", Inputs: 10, Outputs: 8,
+		ScanChains: chains, Patterns: 15,
+		CareDensity: density, Clustering: 0.6, Seed: seed,
+	}
+}
+
+func TestScanInPowerBasics(t *testing.T) {
+	c := powerCore(1, 0.1)
+	est, err := ScanInPower(c, 10, FillZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanWTC <= 0 || est.PeakWTC <= 0 {
+		t.Fatalf("degenerate estimate %+v", est)
+	}
+	if float64(est.PeakWTC) < est.MeanWTC {
+		t.Error("peak below mean")
+	}
+	if est.Patterns != 15 || est.M != 10 {
+		t.Error("metadata wrong")
+	}
+	if _, err := ScanInPower(c, 0, FillZero); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestFillStrategyOrdering(t *testing.T) {
+	// Alternate fill maximizes transitions; the quiet fills must be far
+	// below it at low care density (most bits are X).
+	c := powerCore(2, 0.05)
+	zero, err := ScanInPower(c, 10, FillZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slice, err := ScanInPower(c, 10, FillSlice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := ScanInPower(c, 10, FillAlternate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(zero.MeanWTC < alt.MeanWTC/3) {
+		t.Errorf("0-fill %f not well below alternate %f", zero.MeanWTC, alt.MeanWTC)
+	}
+	if !(slice.MeanWTC < alt.MeanWTC) {
+		t.Errorf("slice-fill %f not below alternate %f", slice.MeanWTC, alt.MeanWTC)
+	}
+}
+
+func TestWTCHandComputed(t *testing.T) {
+	// One chain of 4 cells, one pattern fully specified: 1,0,0,1 in
+	// scan-in (depth) order. Transitions at depth 0->1 (weight 3-0=3... )
+	// WTC weights: transition between dep and dep+1 counts (si-1-dep).
+	// si=4: transitions at dep0 (1->0, weight 3) and dep2 (0->1, weight 1)
+	// => WTC = 4.
+	c := &soc.Core{
+		Name: "hand", Inputs: 0, Outputs: 0, ScanChains: []int{4},
+		Patterns: 1, CareDensity: 0.5, Seed: 1,
+	}
+	ts, err := c.TestSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := ts.Cubes[0]
+	cb.Care = cb.Care[:0]
+	for i, v := range []bool{true, false, false, true} {
+		cb.Set(i, v)
+	}
+	est, err := ScanInPower(c, 1, FillZero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PeakWTC != 4 {
+		t.Errorf("WTC = %d, want 4", est.PeakWTC)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	s := &soc.SOC{Name: "ps", Cores: []*soc.Core{powerCore(3, 0.1), powerCore(4, 0.3)}}
+	s.Cores[1].Name = "p2"
+	prof, err := Profile(s, func(c *soc.Core) int { return 8 }, FillZero, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 2 || prof[0] < 1 || prof[1] < 1 {
+		t.Fatalf("profile %v", prof)
+	}
+	if _, err := Profile(s, func(c *soc.Core) int { return 0 }, FillZero, 10); err == nil {
+		t.Error("invalid width accepted")
+	}
+}
+
+func TestFillOfConfigCodec(t *testing.T) {
+	if FillOfConfigCodec("selenc") != FillSlice {
+		t.Error("selenc should map to slice fill")
+	}
+	if FillOfConfigCodec("") != FillZero || FillOfConfigCodec("dict") != FillZero {
+		t.Error("non-selenc codecs should map to zero fill")
+	}
+}
+
+func TestFillStrategyString(t *testing.T) {
+	if FillZero.String() != "zero-fill" || FillSlice.String() != "slice-fill" ||
+		FillAlternate.String() != "alternate-fill" {
+		t.Error("names wrong")
+	}
+	if FillStrategy(9).String() == "" {
+		t.Error("unknown strategy empty")
+	}
+}

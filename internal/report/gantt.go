@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// GanttItem is one bar of a schedule chart.
+type GanttItem struct {
+	Label string
+	Lane  int // bus index
+	Start int64
+	End   int64
+}
+
+// Gantt renders a schedule as an ASCII chart, one row per lane, time on
+// the horizontal axis scaled into `width` character cells. Each bar is
+// drawn with the first letter of its label and delimited with '[' ']'
+// when space allows.
+func Gantt(w io.Writer, title string, laneWidths []int, items []GanttItem, width int) error {
+	if width < 16 {
+		width = 16
+	}
+	var span int64
+	for _, it := range items {
+		if it.Lane < 0 || it.Lane >= len(laneWidths) {
+			return fmt.Errorf("report: gantt item %q on invalid lane %d", it.Label, it.Lane)
+		}
+		if it.End <= it.Start {
+			return fmt.Errorf("report: gantt item %q has non-positive extent", it.Label)
+		}
+		if it.End > span {
+			span = it.End
+		}
+	}
+	if span == 0 {
+		return fmt.Errorf("report: empty gantt")
+	}
+	scale := func(t int64) int {
+		c := int(int64(width) * t / span)
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for lane := range laneWidths {
+		row := []byte(strings.Repeat(".", width))
+		for _, it := range items {
+			if it.Lane != lane {
+				continue
+			}
+			s, e := scale(it.Start), scale(it.End)
+			if e <= s {
+				e = s + 1
+				if e > width {
+					s, e = width-1, width
+				}
+			}
+			for i := s; i < e; i++ {
+				row[i] = '='
+			}
+			row[s] = '['
+			if e-1 > s {
+				row[e-1] = ']'
+			}
+			// Place as much of the label as fits inside the bar.
+			label := it.Label
+			if max := e - s - 2; max < len(label) {
+				if max < 1 {
+					label = ""
+				} else {
+					label = label[:max]
+				}
+			}
+			copy(row[s+1:], label)
+		}
+		fmt.Fprintf(&b, "bus %d (w=%2d) |%s|\n", lane, laneWidths[lane], string(row))
+	}
+	fmt.Fprintf(&b, "%14s0%s%d cycles\n", "", strings.Repeat(" ", width-len(fmt.Sprint(span))), span)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGanttBasic(t *testing.T) {
+	items := []GanttItem{
+		{Label: "cpu", Lane: 0, Start: 0, End: 50},
+		{Label: "dsp", Lane: 1, Start: 0, End: 80},
+		{Label: "io", Lane: 0, Start: 50, End: 100},
+	}
+	var buf bytes.Buffer
+	if err := Gantt(&buf, "schedule", []int{8, 8}, items, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"schedule", "bus 0", "bus 1", "cpu", "dsp", "100 cycles"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 lanes + axis
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestGanttTinyBars(t *testing.T) {
+	// A bar much shorter than one cell must still be visible.
+	items := []GanttItem{
+		{Label: "big", Lane: 0, Start: 0, End: 10000},
+		{Label: "tiny", Lane: 1, Start: 0, End: 3},
+	}
+	var buf bytes.Buffer
+	if err := Gantt(&buf, "", []int{4, 4}, items, 30); err != nil {
+		t.Fatal(err)
+	}
+	lanes := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.Contains(lanes[1], "[") {
+		t.Errorf("tiny bar invisible:\n%s", buf.String())
+	}
+}
+
+func TestGanttErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Gantt(&buf, "", []int{4}, nil, 30); err == nil {
+		t.Error("empty gantt accepted")
+	}
+	if err := Gantt(&buf, "", []int{4}, []GanttItem{{Lane: 2, Start: 0, End: 5}}, 30); err == nil {
+		t.Error("invalid lane accepted")
+	}
+	if err := Gantt(&buf, "", []int{4}, []GanttItem{{Lane: 0, Start: 5, End: 5}}, 30); err == nil {
+		t.Error("empty bar accepted")
+	}
+}

@@ -1,0 +1,187 @@
+// Package report renders the library's experimental output: fixed-width
+// text tables matching the paper's table structure, and ASCII series
+// plots for the figures. Everything writes to an io.Writer so the repro
+// tools and examples can target stdout or files.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; missing cells render empty, extra cells are kept.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	cell := func(row []string, i int) string {
+		if i < len(row) {
+			return row[i]
+		}
+		return ""
+	}
+	for i := 0; i < cols; i++ {
+		widths[i] = len(cell(t.Headers, i))
+		for _, r := range t.Rows {
+			if l := len(cell(r, i)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell(row, i))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series renders an ASCII plot of ys over xs (len(xs) == len(ys)) with
+// the given height in text rows. Columns map one-to-one to samples when
+// they fit in `width` characters, otherwise samples are bucketed by
+// minimum (preserving the visibility of dips, which is what the paper's
+// non-monotonicity figures are about).
+func Series(w io.Writer, title string, xs []int, ys []int64, width, height int) error {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return fmt.Errorf("report: series needs equal-length non-empty xs/ys")
+	}
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	// Bucket samples into at most `width` columns by minimum.
+	nCols := len(xs)
+	if nCols > width {
+		nCols = width
+	}
+	colVal := make([]int64, nCols)
+	for i := range colVal {
+		lo := len(xs) * i / nCols
+		hi := len(xs) * (i + 1) / nCols
+		v := ys[lo]
+		for j := lo + 1; j < hi; j++ {
+			if ys[j] < v {
+				v = ys[j]
+			}
+		}
+		colVal[i] = v
+	}
+	// Scale and label by the raw series, not the bucketed minima.
+	minV, maxV := ys[0], ys[0]
+	for _, v := range ys {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	fmt.Fprintf(&b, "max %d\n", maxV)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", nCols))
+	}
+	for cIdx, v := range colVal {
+		level := int(int64(height-1) * (v - minV) / span)
+		row := height - 1 - level // row 0 is the top
+		grid[row][cIdx] = '*'
+	}
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", nCols))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "min %d   x: %d .. %d\n", minV, xs[0], xs[len(xs)-1])
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Ratio formats a/b as "N.NNx"; "-" when b is zero.
+func Ratio(a, b int64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}
+
+// Eng formats a count in engineering style (k/M/G) with two decimals.
+func Eng(v int64) string {
+	f := float64(v)
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fG", f/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fM", f/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.2fk", f/1e3)
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}
+
+// Mbits formats a bit count as megabits with two decimals, the unit the
+// paper's Table 3 uses for data volumes.
+func Mbits(bits int64) string {
+	return fmt.Sprintf("%.2f", float64(bits)/1e6)
+}
+
+// KCycles formats a cycle count in thousands, the unit of the paper's
+// test-time columns.
+func KCycles(cycles int64) string {
+	return fmt.Sprintf("%.1f", float64(cycles)/1e3)
+}

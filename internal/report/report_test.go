@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("My Table", "design", "time", "ratio")
+	tab.Add("d695", "12345", "1.50x")
+	tab.Add("System1", "99", "12.00x")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"My Table", "design", "d695", "System1", "12.00x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data line has the ratio column starting at
+	// the same offset.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if idx1, idx2 := strings.Index(lines[3], "1.50x"), strings.Index(lines[4], "12.00x"); idx1 != idx2 {
+		t.Errorf("ratio column misaligned: %d vs %d", idx1, idx2)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.Add("1")
+	tab.Add("1", "2", "3")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	xs := make([]int, 50)
+	ys := make([]int64, 50)
+	for i := range xs {
+		xs[i] = 100 + i
+		ys[i] = int64(1000 - i*3)
+	}
+	ys[30] = 500 // a dip that must survive bucketing
+	var buf bytes.Buffer
+	if err := Series(&buf, "tau vs m", xs, ys, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tau vs m") || !strings.Contains(out, "max 1000") || !strings.Contains(out, "min 500") {
+		t.Errorf("series output wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "x: 100 .. 149") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+	if strings.Count(out, "*") == 0 {
+		t.Error("no plot marks")
+	}
+}
+
+func TestSeriesFlat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Series(&buf, "", []int{1, 2}, []int64{5, 5}, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "max 5") {
+		t.Error("flat series broke")
+	}
+}
+
+func TestSeriesErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Series(&buf, "", []int{1}, []int64{1, 2}, 10, 4); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Series(&buf, "", nil, nil, 10, 4); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1259, 100); got != "12.59x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(5, 0); got != "-" {
+		t.Errorf("Ratio div0 = %q", got)
+	}
+}
+
+func TestEng(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want string
+	}{
+		{12, "12"},
+		{1500, "1.50k"},
+		{2_500_000, "2.50M"},
+		{3_000_000_000, "3.00G"},
+	}
+	for _, c := range cases {
+		if got := Eng(c.v); got != c.want {
+			t.Errorf("Eng(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestUnits(t *testing.T) {
+	if got := Mbits(2_500_000); got != "2.50" {
+		t.Errorf("Mbits = %q", got)
+	}
+	if got := KCycles(123456); got != "123.5" {
+		t.Errorf("KCycles = %q", got)
+	}
+}

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Optimal computes a provably optimal schedule for small instances by
+// branch-and-bound over core-to-bus assignments (cores on a bus run
+// back-to-back, so only the assignment matters for the makespan). It is
+// exponential in the number of cores; maxNodes bounds the search (0
+// means 4 million nodes) and an error is returned when the bound is
+// exhausted before the search completes.
+//
+// Optimal serves as the oracle for heuristic-quality tests and as the
+// exact-scheduling ablation for small SOCs.
+func Optimal(nCores int, widths []int, dur Duration, maxNodes int64) (*Schedule, error) {
+	if maxNodes <= 0 {
+		maxNodes = 4 << 20
+	}
+	k := len(widths)
+	if k == 0 {
+		return nil, fmt.Errorf("sched: no buses")
+	}
+	// Per-core durations per bus; infeasible combinations marked < 0.
+	d := make([][]int64, nCores)
+	for c := 0; c < nCores; c++ {
+		d[c] = make([]int64, k)
+		feasible := false
+		for b, w := range widths {
+			t := dur(c, w)
+			if t <= 0 {
+				d[c][b] = -1
+				continue
+			}
+			d[c][b] = t
+			feasible = true
+		}
+		if !feasible {
+			return nil, fmt.Errorf("sched: core %d infeasible on every bus", c)
+		}
+	}
+
+	// Order cores by decreasing minimal duration: big rocks first makes
+	// the bound effective.
+	order := make([]int, nCores)
+	for i := range order {
+		order[i] = i
+	}
+	minDur := func(c int) int64 {
+		best := int64(-1)
+		for _, t := range d[c] {
+			if t > 0 && (best < 0 || t < best) {
+				best = t
+			}
+		}
+		return best
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := minDur(order[i]), minDur(order[j])
+		if a != b {
+			return a > b
+		}
+		return order[i] < order[j]
+	})
+
+	// Remaining minimal work from position i onward (for the bound).
+	suffix := make([]int64, nCores+1)
+	for i := nCores - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + minDur(order[i])
+	}
+
+	// Greedy warm start for the incumbent.
+	incumbent, err := Greedy(nCores, widths, dur)
+	if err != nil {
+		return nil, err
+	}
+	best := incumbent.Makespan
+	bestAssign := make([]int, nCores)
+	for _, it := range incumbent.Items {
+		bestAssign[it.Core] = it.Bus
+	}
+
+	load := make([]int64, k)
+	assign := make([]int, nCores)
+	var nodes int64
+	var exhausted bool
+
+	var rec func(pos int)
+	rec = func(pos int) {
+		if exhausted {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			exhausted = true
+			return
+		}
+		if pos == nCores {
+			var mk int64
+			for _, l := range load {
+				if l > mk {
+					mk = l
+				}
+			}
+			if mk < best {
+				best = mk
+				copy(bestAssign, assign)
+			}
+			return
+		}
+		// Admissible lower bound: the final makespan is at least the
+		// current maximum load, and at least the perfectly balanced
+		// completion of all work (each remaining core contributes at
+		// least its cheapest duration on any bus).
+		var mk, total int64
+		for _, l := range load {
+			if l > mk {
+				mk = l
+			}
+			total += l
+		}
+		lb := (total + suffix[pos] + int64(k) - 1) / int64(k)
+		if mk > lb {
+			lb = mk
+		}
+		if lb >= best {
+			return
+		}
+		c := order[pos]
+		// Symmetry breaking: among equal-width empty buses, only try the
+		// first.
+		triedEmptyWidth := map[int]bool{}
+		for b := 0; b < k; b++ {
+			if d[c][b] < 0 {
+				continue
+			}
+			if load[b] == 0 {
+				if triedEmptyWidth[widths[b]] {
+					continue
+				}
+				triedEmptyWidth[widths[b]] = true
+			}
+			if load[b]+d[c][b] >= best {
+				continue
+			}
+			assign[c] = b
+			load[b] += d[c][b]
+			rec(pos + 1)
+			load[b] -= d[c][b]
+		}
+	}
+	rec(0)
+	if exhausted {
+		return nil, fmt.Errorf("sched: branch-and-bound exceeded %d nodes", maxNodes)
+	}
+
+	// Materialize the best assignment as a schedule.
+	s := &Schedule{
+		Widths:   append([]int(nil), widths...),
+		BusTimes: make([]int64, k),
+	}
+	for _, c := range order {
+		b := bestAssign[c]
+		s.Items = append(s.Items, Item{Core: c, Bus: b, Start: s.BusTimes[b], Duration: d[c][b]})
+		s.BusTimes[b] += d[c][b]
+		if s.BusTimes[b] > s.Makespan {
+			s.Makespan = s.BusTimes[b]
+		}
+	}
+	s.sortItems()
+	return s, nil
+}

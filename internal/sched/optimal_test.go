@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// exhaustiveOptimum enumerates all assignments — the reference for
+// Optimal's correctness on tiny instances.
+func exhaustiveOptimum(n int, widths []int, dur Duration) int64 {
+	k := len(widths)
+	best := int64(-1)
+	assign := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			load := make([]int64, k)
+			for c, b := range assign {
+				d := dur(c, widths[b])
+				if d <= 0 {
+					return
+				}
+				load[b] += d
+			}
+			var mk int64
+			for _, l := range load {
+				if l > mk {
+					mk = l
+				}
+			}
+			if best < 0 || mk < best {
+				best = mk
+			}
+			return
+		}
+		for b := 0; b < k; b++ {
+			assign[i] = b
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestOptimalMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(7) + 1
+		k := rng.Intn(3) + 1
+		widths := make([]int, k)
+		for i := range widths {
+			widths[i] = rng.Intn(6) + 1
+		}
+		base := make([]int64, n)
+		for i := range base {
+			base[i] = int64(rng.Intn(400) + 1)
+		}
+		dur := tableDur(base)
+		want := exhaustiveOptimum(n, widths, dur)
+		s, err := Optimal(n, widths, dur, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != want {
+			t.Fatalf("trial %d: Optimal %d, exhaustive %d (n=%d widths=%v base=%v)",
+				trial, s.Makespan, want, n, widths, base)
+		}
+	}
+}
+
+func TestOptimalNeverWorseThanGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(9) + 1
+		k := rng.Intn(4) + 1
+		widths := make([]int, k)
+		for i := range widths {
+			widths[i] = rng.Intn(8) + 1
+		}
+		base := make([]int64, n)
+		for i := range base {
+			base[i] = int64(rng.Intn(1000) + 1)
+		}
+		dur := tableDur(base)
+		g, err := Greedy(n, widths, dur)
+		if err != nil {
+			return false
+		}
+		o, err := Optimal(n, widths, dur, 0)
+		if err != nil {
+			return false
+		}
+		return o.Makespan <= g.Makespan && o.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalPartialFeasibility(t *testing.T) {
+	// Core 0 only fits the wide bus; Optimal must respect that.
+	dur := func(core, width int) int64 {
+		if core == 0 && width < 4 {
+			return 0
+		}
+		return 10
+	}
+	s, err := Optimal(2, []int{4, 1}, dur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range s.Items {
+		if it.Core == 0 && s.Widths[it.Bus] < 4 {
+			t.Error("core 0 on infeasible bus")
+		}
+	}
+	if _, err := Optimal(1, []int{2}, func(c, w int) int64 { return 0 }, 0); err == nil {
+		t.Error("fully infeasible core accepted")
+	}
+	if _, err := Optimal(1, nil, dur, 0); err == nil {
+		t.Error("no buses accepted")
+	}
+}
+
+func TestOptimalNodeBudget(t *testing.T) {
+	// An instance where the greedy incumbent (17) is above the root
+	// lower bound (15), so the search must actually branch; with a
+	// 1-node budget it must fail loudly, not silently return the
+	// incumbent.
+	base := []int64{7, 7, 5, 5, 5} // widths of 1: durations are the values
+	g, err := Greedy(5, []int{1, 1}, tableDur(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Makespan != 17 {
+		t.Fatalf("premise broken: greedy makespan %d, want 17", g.Makespan)
+	}
+	if _, err := Optimal(5, []int{1, 1}, tableDur(base), 1); err == nil {
+		t.Error("exhausted search did not error")
+	}
+	// With an adequate budget the same instance solves to 15.
+	s, err := Optimal(5, []int{1, 1}, tableDur(base), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 15 {
+		t.Errorf("Optimal = %d, want 15", s.Makespan)
+	}
+}

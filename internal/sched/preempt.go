@@ -1,0 +1,70 @@
+package sched
+
+import "fmt"
+
+// Preemptive computes an optimal *preemptive* schedule on k equal-width
+// buses using McNaughton's wrap-around rule: the makespan is
+// max(longest core, ceil(total/k)), and at most one preemption per bus
+// boundary is introduced (a split core occupies the tail of one bus and
+// the head of the next, which never overlap in time because every core
+// fits within the makespan).
+//
+// Preemptive testing requires wrappers that can pause and resume scan
+// chains; the paper's related work covers it, and this function
+// quantifies the best-case payoff of that capability.
+func Preemptive(nCores, width, k int, dur Duration) (*Schedule, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sched: %d buses", k)
+	}
+	durs := make([]int64, nCores)
+	var total, longest int64
+	for c := 0; c < nCores; c++ {
+		d := dur(c, width)
+		if d <= 0 {
+			return nil, fmt.Errorf("sched: core %d infeasible at width %d", c, width)
+		}
+		durs[c] = d
+		total += d
+		if d > longest {
+			longest = d
+		}
+	}
+	makespan := (total + int64(k) - 1) / int64(k)
+	if longest > makespan {
+		makespan = longest
+	}
+
+	widths := make([]int, k)
+	for i := range widths {
+		widths[i] = width
+	}
+	s := &Schedule{Widths: widths, BusTimes: make([]int64, k), Makespan: makespan}
+
+	bus := 0
+	var t int64
+	for c := 0; c < nCores; c++ {
+		remaining := durs[c]
+		for remaining > 0 {
+			if bus >= k {
+				return nil, fmt.Errorf("sched: internal error: wrap-around overflow")
+			}
+			avail := makespan - t
+			piece := remaining
+			if piece > avail {
+				piece = avail
+			}
+			if piece > 0 {
+				s.Items = append(s.Items, Item{Core: c, Bus: bus, Start: t, Duration: piece})
+				s.BusTimes[bus] = t + piece
+				t += piece
+				remaining -= piece
+			}
+			if t == makespan {
+				bus++
+				t = 0
+			}
+		}
+	}
+	s.sortItems()
+	return s, nil
+}

@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPreemptiveMakespanBound(t *testing.T) {
+	base := []int64{10, 10, 10} // durations at width 1
+	s, err := Preemptive(3, 1, 2, tableDur(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// total 30 over 2 buses = 15; longest 10 -> makespan 15.
+	if s.Makespan != 15 {
+		t.Errorf("makespan = %d, want 15", s.Makespan)
+	}
+	// Non-preemptive optimum is 20; preemption must win here.
+	o, err := Optimal(3, []int{1, 1}, tableDur(base), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan >= o.Makespan {
+		t.Errorf("preemption (%d) no better than non-preemptive optimum (%d)", s.Makespan, o.Makespan)
+	}
+}
+
+func TestPreemptiveLongestCoreFloor(t *testing.T) {
+	base := []int64{100, 5, 5}
+	s, err := Preemptive(3, 1, 4, tableDur(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 100 {
+		t.Errorf("makespan = %d, want the longest core's 100", s.Makespan)
+	}
+}
+
+func TestPreemptiveValidation(t *testing.T) {
+	if _, err := Preemptive(1, 1, 0, tableDur([]int64{5})); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Preemptive(1, 1, 2, func(c, w int) int64 { return 0 }); err == nil {
+		t.Error("infeasible core accepted")
+	}
+}
+
+// Property: the preemptive schedule meets McNaughton's optimum exactly,
+// validates, schedules every core's full duration, and splits each core
+// across at most two buses with non-overlapping pieces.
+func TestQuickPreemptive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 1
+		k := rng.Intn(5) + 1
+		base := make([]int64, n)
+		var total, longest int64
+		for i := range base {
+			base[i] = int64(rng.Intn(500) + 1)
+			total += base[i]
+			if base[i] > longest {
+				longest = base[i]
+			}
+		}
+		want := (total + int64(k) - 1) / int64(k)
+		if longest > want {
+			want = longest
+		}
+		s, err := Preemptive(n, 1, k, tableDur(base))
+		if err != nil || s.Validate() != nil || s.Makespan != want {
+			return false
+		}
+		// Full durations scheduled; at most 2 pieces per core; pieces of
+		// one core never overlap in time.
+		perCore := map[int][]Item{}
+		for _, it := range s.Items {
+			perCore[it.Core] = append(perCore[it.Core], it)
+		}
+		if len(perCore) != n {
+			return false
+		}
+		for c, items := range perCore {
+			var sum int64
+			for _, it := range items {
+				sum += it.Duration
+			}
+			if sum != base[c] || len(items) > 2 {
+				return false
+			}
+			if len(items) == 2 {
+				a, b := items[0], items[1]
+				if a.Start < b.End() && b.Start < a.End() {
+					return false // simultaneous execution of one core
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

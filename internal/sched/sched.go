@@ -1,0 +1,281 @@
+// Package sched implements SOC test scheduling over a fixed TAM
+// partition: cores assigned to the same TAM bus are tested sequentially,
+// buses run in parallel, and the SOC test time is the makespan. The
+// primary algorithm is the paper's Step 4 heuristic — cores sorted by
+// decreasing test time, each placed on the bus where it increases the
+// finish time least. A power-constrained variant (a classic companion
+// problem) is provided as an extension.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Duration reports the test time of core c when tested on a bus of the
+// given width. A non-positive result marks the combination infeasible.
+type Duration func(core, width int) int64
+
+// Item is one scheduled core test.
+type Item struct {
+	Core     int
+	Bus      int
+	Start    int64
+	Duration int64
+}
+
+// End returns the finish time of the item.
+func (it Item) End() int64 { return it.Start + it.Duration }
+
+// Schedule is a complete SOC test schedule.
+type Schedule struct {
+	Widths   []int // bus widths
+	Items    []Item
+	BusTimes []int64 // finish time per bus
+	Makespan int64
+}
+
+// itemsByStart sorts items by start time then bus for stable reporting.
+func (s *Schedule) sortItems() {
+	sort.Slice(s.Items, func(i, j int) bool {
+		if s.Items[i].Start != s.Items[j].Start {
+			return s.Items[i].Start < s.Items[j].Start
+		}
+		if s.Items[i].Bus != s.Items[j].Bus {
+			return s.Items[i].Bus < s.Items[j].Bus
+		}
+		return s.Items[i].Core < s.Items[j].Core
+	})
+}
+
+// Validate checks schedule consistency: no overlap within a bus, bus
+// times match item extents, makespan is the max bus time.
+func (s *Schedule) Validate() error {
+	busEnd := make([]int64, len(s.Widths))
+	perBus := make([][]Item, len(s.Widths))
+	for _, it := range s.Items {
+		if it.Bus < 0 || it.Bus >= len(s.Widths) {
+			return fmt.Errorf("sched: item for core %d on invalid bus %d", it.Core, it.Bus)
+		}
+		if it.Duration <= 0 {
+			return fmt.Errorf("sched: item for core %d has duration %d", it.Core, it.Duration)
+		}
+		perBus[it.Bus] = append(perBus[it.Bus], it)
+	}
+	for b, items := range perBus {
+		sort.Slice(items, func(i, j int) bool { return items[i].Start < items[j].Start })
+		var end int64
+		for _, it := range items {
+			if it.Start < end {
+				return fmt.Errorf("sched: overlap on bus %d at time %d (core %d)", b, it.Start, it.Core)
+			}
+			end = it.End()
+		}
+		busEnd[b] = end
+	}
+	var mk int64
+	for b := range busEnd {
+		if busEnd[b] != s.BusTimes[b] {
+			return fmt.Errorf("sched: bus %d time %d, items end at %d", b, s.BusTimes[b], busEnd[b])
+		}
+		if busEnd[b] > mk {
+			mk = busEnd[b]
+		}
+	}
+	if mk != s.Makespan {
+		return fmt.Errorf("sched: makespan %d, want %d", s.Makespan, mk)
+	}
+	return nil
+}
+
+// Greedy builds a schedule for nCores cores over the given bus widths
+// using the paper's heuristic: sort cores by decreasing test time (taken
+// at the widest bus), then place each core on the bus that minimizes the
+// resulting finish time, breaking ties toward the wider bus. Returns an
+// error if some core is infeasible on every bus.
+func Greedy(nCores int, widths []int, dur Duration) (*Schedule, error) {
+	order, err := longestFirstOrder(nCores, widths, dur)
+	if err != nil {
+		return nil, err
+	}
+	return placeInOrder(order, widths, dur)
+}
+
+// InOrder builds a schedule placing cores in index order on the bus that
+// minimizes the resulting finish time. It is the ablation baseline for
+// the longest-first sort.
+func InOrder(nCores int, widths []int, dur Duration) (*Schedule, error) {
+	order := make([]int, nCores)
+	for i := range order {
+		order[i] = i
+	}
+	return placeInOrder(order, widths, dur)
+}
+
+func longestFirstOrder(nCores int, widths []int, dur Duration) ([]int, error) {
+	widest := 0
+	for _, w := range widths {
+		if w > widest {
+			widest = w
+		}
+	}
+	type ct struct {
+		core int
+		time int64
+	}
+	cts := make([]ct, nCores)
+	for c := 0; c < nCores; c++ {
+		d := dur(c, widest)
+		if d <= 0 {
+			// Fall back to the best feasible width for ordering purposes.
+			for _, w := range widths {
+				if t := dur(c, w); t > 0 && (d <= 0 || t < d) {
+					d = t
+				}
+			}
+		}
+		cts[c] = ct{core: c, time: d}
+	}
+	sort.Slice(cts, func(i, j int) bool {
+		if cts[i].time != cts[j].time {
+			return cts[i].time > cts[j].time
+		}
+		return cts[i].core < cts[j].core
+	})
+	order := make([]int, nCores)
+	for i, x := range cts {
+		order[i] = x.core
+	}
+	return order, nil
+}
+
+func placeInOrder(order []int, widths []int, dur Duration) (*Schedule, error) {
+	s := &Schedule{
+		Widths:   append([]int(nil), widths...),
+		BusTimes: make([]int64, len(widths)),
+	}
+	for _, c := range order {
+		bestBus := -1
+		var bestFinish, bestDur int64
+		for b, w := range widths {
+			d := dur(c, w)
+			if d <= 0 {
+				continue
+			}
+			finish := s.BusTimes[b] + d
+			if bestBus < 0 || finish < bestFinish ||
+				(finish == bestFinish && widths[b] > widths[bestBus]) {
+				bestBus, bestFinish, bestDur = b, finish, d
+			}
+		}
+		if bestBus < 0 {
+			return nil, fmt.Errorf("sched: core %d infeasible on every bus", c)
+		}
+		s.Items = append(s.Items, Item{Core: c, Bus: bestBus, Start: s.BusTimes[bestBus], Duration: bestDur})
+		s.BusTimes[bestBus] = bestFinish
+		if bestFinish > s.Makespan {
+			s.Makespan = bestFinish
+		}
+	}
+	s.sortItems()
+	return s, nil
+}
+
+// GreedyPower is the power-constrained extension: core c dissipates
+// power[c] while under test and the instantaneous sum over all buses
+// must stay within maxPower. Cores are placed longest-first on the bus
+// and at the earliest start time that respects both the bus's sequential
+// order and the power ceiling (idle gaps are inserted when needed).
+func GreedyPower(nCores int, widths []int, dur Duration, power []int, maxPower int) (*Schedule, error) {
+	if len(power) != nCores {
+		return nil, fmt.Errorf("sched: %d power entries for %d cores", len(power), nCores)
+	}
+	for c, p := range power {
+		if p > maxPower {
+			return nil, fmt.Errorf("sched: core %d power %d exceeds ceiling %d", c, p, maxPower)
+		}
+	}
+	order, err := longestFirstOrder(nCores, widths, dur)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		Widths:   append([]int(nil), widths...),
+		BusTimes: make([]int64, len(widths)),
+	}
+	for _, c := range order {
+		bestBus := -1
+		var bestStart, bestDur, bestFinish int64
+		for b, w := range widths {
+			d := dur(c, w)
+			if d <= 0 {
+				continue
+			}
+			start := earliestPowerFeasible(s, power, maxPower, power[c], s.BusTimes[b], d)
+			finish := start + d
+			if bestBus < 0 || finish < bestFinish ||
+				(finish == bestFinish && widths[b] > widths[bestBus]) {
+				bestBus, bestStart, bestDur, bestFinish = b, start, d, finish
+			}
+		}
+		if bestBus < 0 {
+			return nil, fmt.Errorf("sched: core %d infeasible on every bus", c)
+		}
+		s.Items = append(s.Items, Item{Core: c, Bus: bestBus, Start: bestStart, Duration: bestDur})
+		s.BusTimes[bestBus] = bestFinish
+		if bestFinish > s.Makespan {
+			s.Makespan = bestFinish
+		}
+	}
+	s.sortItems()
+	return s, nil
+}
+
+// earliestPowerFeasible finds the earliest start >= minStart such that
+// adding a task of the given power and duration keeps the instantaneous
+// power within maxPower. Candidate starts are minStart and the finish
+// times of already-placed items (power only drops at item finishes).
+func earliestPowerFeasible(s *Schedule, power []int, maxPower, taskPower int, minStart, dur int64) int64 {
+	candidates := []int64{minStart}
+	for _, it := range s.Items {
+		if end := it.End(); end > minStart {
+			candidates = append(candidates, end)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, t := range candidates {
+		if powerFeasible(s, power, maxPower, taskPower, t, dur) {
+			return t
+		}
+	}
+	// Unreachable while per-core power <= maxPower: the latest candidate
+	// (after every existing item) is always feasible.
+	last := candidates[len(candidates)-1]
+	return last
+}
+
+// powerFeasible reports whether inserting a task of the given power over
+// [start, start+dur) keeps total power within maxPower at every instant.
+func powerFeasible(s *Schedule, power []int, maxPower, taskPower int, start, dur int64) bool {
+	end := start + dur
+	// The power profile is piecewise constant; it can only peak at the
+	// start of the window or at an item start inside the window.
+	points := []int64{start}
+	for _, it := range s.Items {
+		if it.Start > start && it.Start < end {
+			points = append(points, it.Start)
+		}
+	}
+	for _, t := range points {
+		sum := taskPower
+		for _, it := range s.Items {
+			if it.Start <= t && t < it.End() {
+				sum += power[it.Core]
+			}
+		}
+		if sum > maxPower {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"soctap/internal/core"
+)
+
+func TestRunDictCoreDeliversStimulus(t *testing.T) {
+	c := simCore(31)
+	for _, dw := range []int{4, 16, 64} {
+		rep, err := RunDictCore(c, 20, dw)
+		if err != nil {
+			t.Fatalf("D=%d: %v", dw, err)
+		}
+		if rep.Mismatches != 0 {
+			t.Errorf("D=%d: %d mismatches", dw, rep.Mismatches)
+		}
+		if rep.Slices == 0 || rep.VolumeBits <= 0 {
+			t.Errorf("D=%d: degenerate report %+v", dw, rep)
+		}
+	}
+}
+
+func TestDictSimMatchesAnalytic(t *testing.T) {
+	c := simCore(32)
+	for _, dw := range core.DefaultDictSizes {
+		cfg, err := core.EvalDict(c, 20, dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunDictCore(c, 20, dw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.VolumeBits != cfg.Volume {
+			t.Errorf("D=%d: simulated volume %d != analytic %d", dw, rep.VolumeBits, cfg.Volume)
+		}
+		if rep.W != cfg.Width {
+			t.Errorf("D=%d: simulated width %d != analytic %d", dw, rep.W, cfg.Width)
+		}
+	}
+}
+
+func TestVerifyConfigDict(t *testing.T) {
+	c := simCore(33)
+	cfg, err := core.EvalDict(c, 20, core.DefaultDictSizes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyConfig(c, cfg); err != nil {
+		t.Errorf("valid dict config failed verification: %v", err)
+	}
+	bad := cfg
+	bad.Volume += 7
+	if err := VerifyConfig(c, bad); err == nil {
+		t.Error("tampered dict volume passed verification")
+	}
+}

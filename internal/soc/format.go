@@ -1,0 +1,238 @@
+package soc
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a plain-text design description format in the
+// spirit of the ITC'02 SOC test benchmark ".soc" files, extended with the
+// cube-generation fields this library needs. Grammar (one statement per
+// line, '#' starts a comment, blank lines ignored):
+//
+//	SocName <name>
+//	TotalCores <n>                 # optional, cross-checked when present
+//	Core <name>
+//	  Inputs <n>
+//	  Outputs <n>
+//	  Bidirs <n>                   # optional, default 0
+//	  ScanChains <count> <len>...  # optional; count followed by lengths
+//	  Patterns <n>
+//	  Gates <n>                    # optional
+//	  CareDensity <f>              # optional, default 0.5
+//	  Clustering <f>               # optional
+//	  DensityDecay <f>             # optional
+//	  Seed <n>                     # optional
+//	EndCore
+//
+// Write emits exactly this format, so Parse(Write(x)) round-trips.
+
+// Parse reads a design description from r.
+func Parse(r io.Reader) (*SOC, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	s := &SOC{}
+	var cur *Core
+	totalCores := -1
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		key := fields[0]
+		args := fields[1:]
+
+		fail := func(format string, a ...interface{}) error {
+			return fmt.Errorf("soc: line %d: %s", lineNo, fmt.Sprintf(format, a...))
+		}
+		needInt := func() (int, error) {
+			if len(args) != 1 {
+				return 0, fail("%s expects one integer argument", key)
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil {
+				return 0, fail("%s: %v", key, err)
+			}
+			return n, nil
+		}
+		needFloat := func() (float64, error) {
+			if len(args) != 1 {
+				return 0, fail("%s expects one numeric argument", key)
+			}
+			f, err := strconv.ParseFloat(args[0], 64)
+			if err != nil {
+				return 0, fail("%s: %v", key, err)
+			}
+			return f, nil
+		}
+
+		if cur == nil {
+			switch key {
+			case "SocName":
+				if len(args) != 1 {
+					return nil, fail("SocName expects one argument")
+				}
+				s.Name = args[0]
+			case "TotalCores":
+				n, err := needInt()
+				if err != nil {
+					return nil, err
+				}
+				totalCores = n
+			case "Core":
+				if len(args) != 1 {
+					return nil, fail("Core expects one argument")
+				}
+				cur = &Core{Name: args[0], CareDensity: 0.5}
+			default:
+				return nil, fail("unexpected statement %q outside a Core block", key)
+			}
+			continue
+		}
+
+		switch key {
+		case "Inputs":
+			n, err := needInt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Inputs = n
+		case "Outputs":
+			n, err := needInt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Outputs = n
+		case "Bidirs":
+			n, err := needInt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Bidirs = n
+		case "Patterns":
+			n, err := needInt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Patterns = n
+		case "Gates":
+			n, err := needInt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Gates = n
+		case "Seed":
+			n, err := needInt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Seed = int64(n)
+		case "CareDensity":
+			f, err := needFloat()
+			if err != nil {
+				return nil, err
+			}
+			cur.CareDensity = f
+		case "Clustering":
+			f, err := needFloat()
+			if err != nil {
+				return nil, err
+			}
+			cur.Clustering = f
+		case "DensityDecay":
+			f, err := needFloat()
+			if err != nil {
+				return nil, err
+			}
+			cur.DensityDecay = f
+		case "ScanChains":
+			if len(args) < 1 {
+				return nil, fail("ScanChains expects a count followed by lengths")
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil {
+				return nil, fail("ScanChains count: %v", err)
+			}
+			if len(args)-1 != n {
+				return nil, fail("ScanChains declares %d chains but lists %d lengths", n, len(args)-1)
+			}
+			chains := make([]int, n)
+			for i, a := range args[1:] {
+				l, err := strconv.Atoi(a)
+				if err != nil {
+					return nil, fail("ScanChains length %d: %v", i, err)
+				}
+				chains[i] = l
+			}
+			cur.ScanChains = chains
+		case "EndCore":
+			s.Cores = append(s.Cores, cur)
+			cur = nil
+		default:
+			return nil, fail("unknown statement %q in Core block", key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("soc: read: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("soc: unterminated Core block %q", cur.Name)
+	}
+	if totalCores >= 0 && totalCores != len(s.Cores) {
+		return nil, fmt.Errorf("soc: TotalCores %d but %d Core blocks found", totalCores, len(s.Cores))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Write emits the design description of s to w in the format read by
+// Parse.
+func Write(w io.Writer, s *SOC) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "SocName %s\n", s.Name)
+	fmt.Fprintf(bw, "TotalCores %d\n", len(s.Cores))
+	for _, c := range s.Cores {
+		fmt.Fprintf(bw, "\nCore %s\n", c.Name)
+		fmt.Fprintf(bw, "  Inputs %d\n", c.Inputs)
+		fmt.Fprintf(bw, "  Outputs %d\n", c.Outputs)
+		if c.Bidirs != 0 {
+			fmt.Fprintf(bw, "  Bidirs %d\n", c.Bidirs)
+		}
+		if len(c.ScanChains) > 0 {
+			fmt.Fprintf(bw, "  ScanChains %d", len(c.ScanChains))
+			for _, l := range c.ScanChains {
+				fmt.Fprintf(bw, " %d", l)
+			}
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "  Patterns %d\n", c.Patterns)
+		if c.Gates != 0 {
+			fmt.Fprintf(bw, "  Gates %d\n", c.Gates)
+		}
+		fmt.Fprintf(bw, "  CareDensity %g\n", c.CareDensity)
+		if c.Clustering != 0 {
+			fmt.Fprintf(bw, "  Clustering %g\n", c.Clustering)
+		}
+		if c.DensityDecay != 0 {
+			fmt.Fprintf(bw, "  DensityDecay %g\n", c.DensityDecay)
+		}
+		if c.Seed != 0 {
+			fmt.Fprintf(bw, "  Seed %d\n", c.Seed)
+		}
+		fmt.Fprintln(bw, "EndCore")
+	}
+	return bw.Flush()
+}

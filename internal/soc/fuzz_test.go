@@ -1,0 +1,38 @@
+package soc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the design parser never panics and that anything it
+// accepts is a valid design that survives a write/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("SocName a\nCore c\nInputs 1\nPatterns 1\nEndCore\n")
+	f.Add("Core c\nScanChains 2 5 5\nEndCore")
+	f.Add("# only a comment\n")
+	f.Add("SocName \x00weird\nTotalCores 99\n")
+	f.Add("Core c\nInputs 999999999999999999999\nEndCore")
+	f.Add(strings.Repeat("Core x\n", 50))
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if vErr := s.Validate(); vErr != nil {
+			t.Fatalf("Parse accepted a design that fails Validate: %v", vErr)
+		}
+		var buf bytes.Buffer
+		if wErr := Write(&buf, s); wErr != nil {
+			t.Fatalf("accepted design fails to Write: %v", wErr)
+		}
+		back, rErr := Parse(&buf)
+		if rErr != nil {
+			t.Fatalf("emitted design fails to re-Parse: %v\n%s", rErr, buf.String())
+		}
+		if len(back.Cores) != len(s.Cores) {
+			t.Fatalf("round trip changed core count %d -> %d", len(s.Cores), len(back.Cores))
+		}
+	})
+}

@@ -1,0 +1,238 @@
+// Package soc models core-based systems-on-chip for modular test
+// planning: embedded cores with scan structure and test sets, and SOCs
+// that aggregate cores. It ships the benchmark designs used in the DATE
+// 2008 paper (d695, a d2758 stand-in, the industrial cores ckt-1..ckt-12
+// as documented synthetic stand-ins, and System1–System4), plus an
+// ITC'02-inspired text format for describing designs on disk.
+package soc
+
+import (
+	"fmt"
+	"sync"
+
+	"soctap/internal/cube"
+)
+
+// Core describes one wrapped embedded core: its functional terminals, its
+// internal scan chains, and the shape of its test set. Test cubes are
+// either attached directly (ExplicitCubes) or generated deterministically
+// from the Gen parameters on first use.
+type Core struct {
+	Name    string
+	Inputs  int // functional inputs (wrapper input cells)
+	Outputs int // functional outputs (wrapper output cells)
+	Bidirs  int // bidirectional terminals (count as both in and out cells)
+
+	// ScanChains lists the length (in cells) of each internal scan
+	// chain. A combinational core has none.
+	ScanChains []int
+
+	Patterns int // number of test patterns (cubes)
+	Gates    int // approximate gate count, for hardware-cost reporting
+
+	// CareDensity, Clustering, DensityDecay and Seed parameterize the
+	// synthetic cube generator when ExplicitCubes is nil.
+	CareDensity  float64
+	Clustering   float64
+	DensityDecay float64
+	Seed         int64
+
+	// ExplicitCubes, when non-nil, is used verbatim as the core's test
+	// set (its width must equal StimulusBits and its length Patterns).
+	ExplicitCubes *cube.Set
+
+	cubesOnce sync.Once
+	cubes     *cube.Set
+	cubesErr  error
+}
+
+// ScanCells returns the total number of internal scan cells.
+func (c *Core) ScanCells() int {
+	n := 0
+	for _, l := range c.ScanChains {
+		n += l
+	}
+	return n
+}
+
+// StimulusBits returns the number of stimulus cells per pattern: wrapper
+// input cells (functional inputs and bidirs) plus all scan cells.
+func (c *Core) StimulusBits() int {
+	return c.Inputs + c.Bidirs + c.ScanCells()
+}
+
+// ResponseBits returns the number of response cells per pattern: wrapper
+// output cells (functional outputs and bidirs) plus all scan cells.
+func (c *Core) ResponseBits() int {
+	return c.Outputs + c.Bidirs + c.ScanCells()
+}
+
+// InCells returns the number of wrapper input cells.
+func (c *Core) InCells() int { return c.Inputs + c.Bidirs }
+
+// OutCells returns the number of wrapper output cells.
+func (c *Core) OutCells() int { return c.Outputs + c.Bidirs }
+
+// MaxWrapperChains returns the largest useful number of wrapper chains:
+// one per internal scan chain plus one per wrapper input cell. Beyond
+// this, additional chains would carry no stimulus cells.
+func (c *Core) MaxWrapperChains() int {
+	return len(c.ScanChains) + c.InCells()
+}
+
+// Validate checks the core description for consistency.
+func (c *Core) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("soc: core with empty name")
+	}
+	if c.Inputs < 0 || c.Outputs < 0 || c.Bidirs < 0 {
+		return fmt.Errorf("soc: core %s: negative terminal count", c.Name)
+	}
+	for i, l := range c.ScanChains {
+		if l <= 0 {
+			return fmt.Errorf("soc: core %s: scan chain %d has length %d", c.Name, i, l)
+		}
+	}
+	if c.Patterns <= 0 {
+		return fmt.Errorf("soc: core %s: %d patterns", c.Name, c.Patterns)
+	}
+	if c.StimulusBits() == 0 {
+		return fmt.Errorf("soc: core %s has no stimulus cells", c.Name)
+	}
+	if c.ExplicitCubes == nil {
+		if c.CareDensity <= 0 || c.CareDensity > 1 {
+			return fmt.Errorf("soc: core %s: care density %g out of (0,1]", c.Name, c.CareDensity)
+		}
+	} else {
+		if c.ExplicitCubes.NumBits != c.StimulusBits() {
+			return fmt.Errorf("soc: core %s: explicit cube width %d, want %d",
+				c.Name, c.ExplicitCubes.NumBits, c.StimulusBits())
+		}
+		if c.ExplicitCubes.Len() != c.Patterns {
+			return fmt.Errorf("soc: core %s: %d explicit cubes, want %d patterns",
+				c.Name, c.ExplicitCubes.Len(), c.Patterns)
+		}
+	}
+	return nil
+}
+
+// TestSet returns the core's test cubes, generating and caching them on
+// first use. The result is shared; callers must not mutate it.
+func (c *Core) TestSet() (*cube.Set, error) {
+	c.cubesOnce.Do(func() {
+		if c.ExplicitCubes != nil {
+			c.cubes = c.ExplicitCubes
+			return
+		}
+		c.cubes, c.cubesErr = cube.Generate(cube.GenSpec{
+			NumBits:      c.StimulusBits(),
+			Patterns:     c.Patterns,
+			Density:      c.CareDensity,
+			DensityDecay: c.DensityDecay,
+			Clustering:   c.Clustering,
+			Seed:         c.Seed,
+			Geometry:     c.ScanChains,
+			IOCells:      c.InCells(),
+		})
+	})
+	return c.cubes, c.cubesErr
+}
+
+// MustTestSet is TestSet but panics on error; for use with the built-in
+// (known-valid) designs.
+func (c *Core) MustTestSet() *cube.Set {
+	s, err := c.TestSet()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SOC is a core-based system-on-chip.
+type SOC struct {
+	Name  string
+	Cores []*Core
+}
+
+// Validate checks the SOC and all its cores.
+func (s *SOC) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("soc: SOC with empty name")
+	}
+	if len(s.Cores) == 0 {
+		return fmt.Errorf("soc: SOC %s has no cores", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Cores))
+	for _, c := range s.Cores {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("soc: SOC %s: duplicate core name %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+// TotalGates sums the gate counts of all cores.
+func (s *SOC) TotalGates() int {
+	n := 0
+	for _, c := range s.Cores {
+		n += c.Gates
+	}
+	return n
+}
+
+// TotalScanCells sums the scan cells of all cores.
+func (s *SOC) TotalScanCells() int {
+	n := 0
+	for _, c := range s.Cores {
+		n += c.ScanCells()
+	}
+	return n
+}
+
+// InitialVolume returns the summed raw stimulus volume V_i over all
+// cores, in bits (Table 3, column 3).
+func (s *SOC) InitialVolume() (int64, error) {
+	var v int64
+	for _, c := range s.Cores {
+		ts, err := c.TestSet()
+		if err != nil {
+			return 0, err
+		}
+		v += ts.RawVolume()
+	}
+	return v, nil
+}
+
+// CoreByName returns the named core, or nil.
+func (s *SOC) CoreByName(name string) *Core {
+	for _, c := range s.Cores {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// balancedChains splits total cells into n chains whose lengths differ by
+// at most one — the usual idealization for benchmark scan structures.
+func balancedChains(total, n int) []int {
+	if n <= 0 || total <= 0 {
+		return nil
+	}
+	if n > total {
+		n = total
+	}
+	chains := make([]int, n)
+	base, rem := total/n, total%n
+	for i := range chains {
+		chains[i] = base
+		if i < rem {
+			chains[i]++
+		}
+	}
+	return chains
+}

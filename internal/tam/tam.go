@@ -1,0 +1,154 @@
+// Package tam models SOC-level test access mechanisms: the partition of
+// the top-level TAM width W_TAM into k fixed-width test buses, and the
+// assignment of cores to buses. It provides the partition arithmetic the
+// optimizer's architecture search is built on.
+package tam
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Partition is the widths of the k TAM buses, in bus order. All widths
+// are positive.
+type Partition []int
+
+// TotalWidth returns the summed bus width.
+func (p Partition) TotalWidth() int {
+	w := 0
+	for _, x := range p {
+		w += x
+	}
+	return w
+}
+
+// Validate checks that every bus has positive width and, if maxTotal > 0,
+// that the partition fits the budget.
+func (p Partition) Validate(maxTotal int) error {
+	if len(p) == 0 {
+		return fmt.Errorf("tam: empty partition")
+	}
+	for i, w := range p {
+		if w <= 0 {
+			return fmt.Errorf("tam: bus %d has width %d", i, w)
+		}
+	}
+	if maxTotal > 0 && p.TotalWidth() > maxTotal {
+		return fmt.Errorf("tam: partition uses %d wires, budget %d", p.TotalWidth(), maxTotal)
+	}
+	return nil
+}
+
+// Clone returns a copy of the partition.
+func (p Partition) Clone() Partition {
+	c := make(Partition, len(p))
+	copy(c, p)
+	return c
+}
+
+// Even returns a partition of total wires into k buses with widths as
+// equal as possible (wider buses first). It returns an error when the
+// partition would create zero-width buses.
+func Even(total, k int) (Partition, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("tam: bus count %d", k)
+	}
+	if total < k {
+		return nil, fmt.Errorf("tam: cannot split %d wires into %d buses", total, k)
+	}
+	p := make(Partition, k)
+	base, rem := total/k, total%k
+	for i := range p {
+		p[i] = base
+		if i < rem {
+			p[i]++
+		}
+	}
+	return p, nil
+}
+
+// MoveWire returns a copy of p with one wire moved from bus `from` to bus
+// `to`, or an error if that would empty the source bus.
+func (p Partition) MoveWire(from, to int) (Partition, error) {
+	if from < 0 || from >= len(p) || to < 0 || to >= len(p) || from == to {
+		return nil, fmt.Errorf("tam: invalid wire move %d -> %d", from, to)
+	}
+	if p[from] <= 1 {
+		return nil, fmt.Errorf("tam: bus %d cannot give up its last wire", from)
+	}
+	c := p.Clone()
+	c[from]--
+	c[to]++
+	return c, nil
+}
+
+// Canonical returns the partition sorted by decreasing width — two
+// partitions with the same multiset of widths canonicalize identically,
+// which the architecture search uses to avoid revisiting states.
+func (p Partition) Canonical() Partition {
+	c := p.Clone()
+	sort.Sort(sort.Reverse(sort.IntSlice(c)))
+	return c
+}
+
+// Key returns a comparable string form of the canonical partition.
+func (p Partition) Key() string {
+	c := p.Canonical()
+	b := make([]byte, 0, len(c)*3)
+	for i, w := range c {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendInt(b, w)
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [12]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// Architecture is a TAM partition plus the assignment of each core
+// (by index) to a bus.
+type Architecture struct {
+	Partition Partition
+	// CoreBus[i] is the bus index core i is assigned to.
+	CoreBus []int
+}
+
+// Validate checks the architecture for nCores cores.
+func (a *Architecture) Validate(nCores, maxTotal int) error {
+	if err := a.Partition.Validate(maxTotal); err != nil {
+		return err
+	}
+	if len(a.CoreBus) != nCores {
+		return fmt.Errorf("tam: %d core assignments, want %d", len(a.CoreBus), nCores)
+	}
+	for i, b := range a.CoreBus {
+		if b < 0 || b >= len(a.Partition) {
+			return fmt.Errorf("tam: core %d assigned to invalid bus %d", i, b)
+		}
+	}
+	return nil
+}
+
+// CoresOnBus returns the core indices assigned to bus b, in index order.
+func (a *Architecture) CoresOnBus(b int) []int {
+	var out []int
+	for i, bus := range a.CoreBus {
+		if bus == b {
+			out = append(out, i)
+		}
+	}
+	return out
+}

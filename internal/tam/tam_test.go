@@ -1,0 +1,145 @@
+package tam
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEven(t *testing.T) {
+	p, err := Even(31, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalWidth() != 31 || len(p) != 3 {
+		t.Fatalf("Even(31,3) = %v", p)
+	}
+	if p[0] != 11 || p[1] != 10 || p[2] != 10 {
+		t.Errorf("Even(31,3) = %v, want [11 10 10]", p)
+	}
+	if _, err := Even(2, 3); err == nil {
+		t.Error("Even(2,3) accepted")
+	}
+	if _, err := Even(5, 0); err == nil {
+		t.Error("Even(5,0) accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Partition{4, 4}).Validate(8); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if err := (Partition{}).Validate(8); err == nil {
+		t.Error("empty partition accepted")
+	}
+	if err := (Partition{4, 0}).Validate(8); err == nil {
+		t.Error("zero-width bus accepted")
+	}
+	if err := (Partition{5, 4}).Validate(8); err == nil {
+		t.Error("over-budget partition accepted")
+	}
+	if err := (Partition{5, 4}).Validate(0); err != nil {
+		t.Error("unbounded budget should not be enforced")
+	}
+}
+
+func TestMoveWire(t *testing.T) {
+	p := Partition{3, 2, 1}
+	q, err := p.MoveWire(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 2 || q[2] != 2 {
+		t.Errorf("MoveWire result %v", q)
+	}
+	if p[0] != 3 {
+		t.Error("MoveWire mutated original")
+	}
+	if _, err := p.MoveWire(2, 0); err == nil {
+		t.Error("emptying a bus accepted")
+	}
+	if _, err := p.MoveWire(0, 0); err == nil {
+		t.Error("self-move accepted")
+	}
+	if _, err := p.MoveWire(-1, 0); err == nil {
+		t.Error("bad index accepted")
+	}
+}
+
+func TestCanonicalAndKey(t *testing.T) {
+	a := Partition{3, 7, 5}
+	b := Partition{7, 5, 3}
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	if a.Key() != "7,5,3" {
+		t.Errorf("Key = %q", a.Key())
+	}
+	c := a.Canonical()
+	if c[0] != 7 || c[1] != 5 || c[2] != 3 {
+		t.Errorf("Canonical = %v", c)
+	}
+	if a[0] != 3 {
+		t.Error("Canonical mutated original")
+	}
+}
+
+func TestArchitecture(t *testing.T) {
+	a := &Architecture{Partition: Partition{4, 4}, CoreBus: []int{0, 1, 0}}
+	if err := a.Validate(3, 8); err != nil {
+		t.Errorf("valid architecture rejected: %v", err)
+	}
+	if err := a.Validate(2, 8); err == nil {
+		t.Error("wrong core count accepted")
+	}
+	bad := &Architecture{Partition: Partition{4, 4}, CoreBus: []int{0, 2, 0}}
+	if err := bad.Validate(3, 8); err == nil {
+		t.Error("invalid bus index accepted")
+	}
+	on0 := a.CoresOnBus(0)
+	if len(on0) != 2 || on0[0] != 0 || on0[1] != 2 {
+		t.Errorf("CoresOnBus(0) = %v", on0)
+	}
+	if got := a.CoresOnBus(1); len(got) != 1 || got[0] != 1 {
+		t.Errorf("CoresOnBus(1) = %v", got)
+	}
+}
+
+// Property: Even partitions conserve wires, differ by at most 1, and
+// MoveWire conserves wires.
+func TestQuickPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := rng.Intn(8) + 1
+		total := k + rng.Intn(64)
+		p, err := Even(total, k)
+		if err != nil {
+			return false
+		}
+		if p.TotalWidth() != total {
+			return false
+		}
+		min, max := p[0], p[0]
+		for _, w := range p {
+			if w < min {
+				min = w
+			}
+			if w > max {
+				max = w
+			}
+		}
+		if max-min > 1 {
+			return false
+		}
+		if k >= 2 && p[0] > 1 {
+			q, err := p.MoveWire(0, k-1)
+			if err != nil || q.TotalWidth() != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package truncate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"soctap/internal/soc"
+)
+
+func truncSOC() *soc.SOC {
+	mk := func(name string, cells, pat int, seed int64) *soc.Core {
+		return &soc.Core{
+			Name: name, Inputs: 8, Outputs: 8,
+			ScanChains: []int{cells / 2, cells / 2},
+			Patterns:   pat, CareDensity: 0.1, DensityDecay: 1, Seed: seed,
+		}
+	}
+	return &soc.SOC{Name: "tr", Cores: []*soc.Core{
+		mk("a", 400, 30, 1),
+		mk("b", 200, 20, 2),
+		mk("c", 600, 25, 3),
+	}}
+}
+
+func TestPlanUnlimitedKeepsEverything(t *testing.T) {
+	s := truncSOC()
+	res, err := Plan(s, 1<<40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cb := range res.Cores {
+		if cb.Patterns != cb.Total {
+			t.Errorf("%s: kept %d of %d despite unlimited budget", cb.Core, cb.Patterns, cb.Total)
+		}
+		if cb.Quality < 0.999 {
+			t.Errorf("%s: quality %f with everything kept", cb.Core, cb.Quality)
+		}
+	}
+	if res.Quality < 0.999 {
+		t.Errorf("total quality %f", res.Quality)
+	}
+}
+
+func TestPlanZeroBudget(t *testing.T) {
+	s := truncSOC()
+	res, err := Plan(s, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 0 || res.Quality != 0 {
+		t.Errorf("zero budget kept %d bits, quality %f", res.Bits, res.Quality)
+	}
+	if _, err := Plan(s, -1, nil); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestPlanRespectsBudget(t *testing.T) {
+	s := truncSOC()
+	full, err := Plan(s, 1<<40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int64{2, 4, 10} {
+		budget := full.Bits / frac
+		res, err := Plan(s, budget, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bits > budget {
+			t.Errorf("budget %d exceeded: %d", budget, res.Bits)
+		}
+		// A meaningful share of the budget is used (greedy shouldn't
+		// leave most of it idle when patterns remain).
+		if res.Bits < budget*8/10 {
+			t.Errorf("budget %d underused: %d", budget, res.Bits)
+		}
+	}
+}
+
+func TestDecayMakesTruncationCheap(t *testing.T) {
+	// With strong density decay, half the memory must retain much more
+	// than half the quality — the whole point of ordered truncation.
+	s := truncSOC()
+	full, _ := Plan(s, 1<<40, nil)
+	half, err := Plan(s, full.Bits/2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.Quality < 0.6 {
+		t.Errorf("half the memory retained only %.2f quality", half.Quality)
+	}
+}
+
+func TestPlanKeepsPrefix(t *testing.T) {
+	// Kept counts must be prefixes: the result only reports counts, so
+	// check monotonicity of quality with budget instead.
+	s := truncSOC()
+	prev := -1.0
+	full, _ := Plan(s, 1<<40, nil)
+	for _, frac := range []int64{8, 4, 2, 1} {
+		res, err := Plan(s, full.Bits/frac, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Quality < prev {
+			t.Errorf("quality decreased with a larger budget: %f -> %f", prev, res.Quality)
+		}
+		prev = res.Quality
+	}
+}
+
+func TestCustomCost(t *testing.T) {
+	// A cost model that makes core b free should let it keep everything
+	// even under a tiny budget.
+	s := truncSOC()
+	cost := func(c *soc.Core, j int) int64 {
+		if c.Name == "b" {
+			return 0
+		}
+		return UncompressedCost(c, j)
+	}
+	res, err := Plan(s, 1, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cb := range res.Cores {
+		if cb.Core == "b" && cb.Patterns != cb.Total {
+			t.Errorf("free core truncated: %d of %d", cb.Patterns, cb.Total)
+		}
+	}
+}
+
+// Property: quality per core is in [0,1], bits within budget, kept
+// counts within range, and quality is monotone in budget.
+func TestQuickPlan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := &soc.SOC{Name: "q"}
+		for i := 0; i < rng.Intn(4)+1; i++ {
+			s.Cores = append(s.Cores, &soc.Core{
+				Name: string(rune('a' + i)), Inputs: rng.Intn(10) + 1,
+				ScanChains:   []int{rng.Intn(200) + 10},
+				Patterns:     rng.Intn(20) + 1,
+				CareDensity:  0.05 + rng.Float64()*0.3,
+				DensityDecay: rng.Float64(),
+				Seed:         seed + int64(i),
+			})
+		}
+		budget := int64(rng.Intn(100000))
+		res, err := Plan(s, budget, nil)
+		if err != nil {
+			return false
+		}
+		if res.Bits > budget {
+			return false
+		}
+		for _, cb := range res.Cores {
+			if cb.Patterns < 0 || cb.Patterns > cb.Total {
+				return false
+			}
+			if cb.Quality < -1e-9 || cb.Quality > 1+1e-9 {
+				return false
+			}
+		}
+		bigger, err := Plan(s, budget*2+1000, nil)
+		if err != nil {
+			return false
+		}
+		return bigger.Quality >= res.Quality-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
