@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check vet build test race bench bench-short
+
+# check is the tier-1 gate: everything must pass before a change lands.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race re-runs the suite under the race detector; the parallel
+# evaluation engine (worker pools, singleflight table cache) is
+# exercised by dedicated determinism and contention tests.
+race:
+	$(GO) test -race ./...
+
+# bench runs the full benchmark harness (one bench per paper artifact
+# plus the engine micro-benchmarks). Slow: tab3 alone is minutes.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# bench-short runs only the fast engine benchmarks — the tdcCost
+# kernel and the serial-vs-parallel table build.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkTDCCostKernel|BenchmarkBuildTable' -benchmem ./internal/core

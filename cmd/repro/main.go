@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	repro [-o output.txt] {fig2|fig3|fig4|tab1|tab2|tab3|all}
+//	repro [-o output.txt] [-workers N] {fig2|fig3|fig4|tab1|tab2|tab3|all}
 //
 // Expect `all` to take a few minutes on one CPU: the industrial-core
-// lookup tables dominate, and are shared across experiments.
+// lookup tables dominate, and are shared across experiments. The (w, m)
+// evaluations fan out over one worker per CPU by default; -workers
+// bounds the pool (results are bit-identical for every setting).
 package main
 
 import (
@@ -15,10 +17,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"soctap/internal/experiments"
 )
 
 func main() {
 	out := flag.String("o", "", "write output to this file instead of stdout")
+	workers := flag.Int("workers", 0, "evaluation-engine worker goroutines (0 = one per CPU, 1 = sequential; results are identical)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [-o file] {fig2|fig3|fig4|tab1|tab2|tab3|ablations|techsel|seeds|verify|all}\n")
 		flag.PrintDefaults()
@@ -28,6 +33,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	experiments.SetWorkers(*workers)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

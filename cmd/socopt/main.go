@@ -31,6 +31,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify the plan by cycle-accurate simulation")
 	maxTAMs := flag.Int("max-tams", 0, "cap on the number of TAM buses (0 = number of cores)")
 	bandSamples := flag.Int("band-samples", 0, "m values sampled per codeword-width band (0 = default 48, -1 = exhaustive)")
+	workers := flag.Int("workers", 0, "evaluation-engine worker goroutines (0 = one per CPU, 1 = sequential; results are identical)")
 	ateDepth := flag.Int64("ate-depth", 0, "ATE vector memory depth per channel in bits (0 = unlimited)")
 	ateFreq := flag.Float64("ate-mhz", 50, "ATE frequency in MHz for wall-clock reporting")
 	gantt := flag.Bool("gantt", false, "draw the schedule as an ASCII Gantt chart")
@@ -56,6 +57,7 @@ func main() {
 		MaxTAMs:    *maxTAMs,
 		Tables:     core.TableOptions{BandSamples: *bandSamples},
 		EnableDict: *techsel,
+		Workers:    *workers,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"soctap/internal/soc"
+)
+
+// benchCore is a mid-size synthetic core whose cubes are large enough
+// to exercise the kernel's radix-sort path (~320 care bits per cube).
+func benchCore() *soc.Core {
+	chains := make([]int, 64)
+	for i := range chains {
+		chains[i] = 100
+	}
+	return &soc.Core{
+		Name: "bench", Inputs: 32, Outputs: 32,
+		ScanChains: chains, // 6400 cells
+		Patterns:   50, CareDensity: 0.05, Clustering: 0.7, DensityDecay: 0.3,
+		Seed: 42,
+	}
+}
+
+// BenchmarkTDCCostKernel measures the hot cost kernel alone — the
+// per-cube key build, sort and slice-cost walk — on a warm evaluator.
+// Allocations per op should be ~zero: all buffers are reused.
+func BenchmarkTDCCostKernel(b *testing.B) {
+	c := benchCore()
+	ev, err := NewEvaluator(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := ev.Design(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.StimulusMap() // warm the memoized map
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.tdcCost(d, true)
+	}
+}
+
+// BenchmarkBuildTableSerial measures one core's full lookup-table build
+// with the engine forced sequential.
+func BenchmarkBuildTableSerial(b *testing.B) {
+	benchmarkBuildTable(b, 1)
+}
+
+// BenchmarkBuildTableParallel is the same build with one worker per
+// CPU; on a multi-core machine the ratio to the serial benchmark is the
+// table-build speedup.
+func BenchmarkBuildTableParallel(b *testing.B) {
+	benchmarkBuildTable(b, 0)
+}
+
+func benchmarkBuildTable(b *testing.B, workers int) {
+	c := benchCore()
+	if _, err := c.TestSet(); err != nil {
+		b.Fatal(err)
+	}
+	opts := TableOptions{MaxWidth: 32, Workers: workers}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildTable(c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

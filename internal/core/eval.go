@@ -9,13 +9,13 @@
 //     without the selective-encoding decompressor;
 //   - lookup tables (lookup.go): the τ(w, m) exploration of Section 2 of
 //     the paper, reduced to best-configuration tables indexed by TAM
-//     width;
+//     width, fanned out over a bounded worker pool;
 //   - the SOC-level optimizer (optimize.go): TAM partitioning, core
 //     assignment and scheduling over those tables (Section 3).
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"soctap/internal/cube"
 	"soctap/internal/selenc"
@@ -52,11 +52,77 @@ func (c Config) better(o Config) bool {
 	return c.Volume < o.Volume
 }
 
-// EvalNoTDC evaluates testing the core through m direct TAM wires (one
+// Evaluator evaluates test configurations of one core. It is the hot
+// kernel of the (w, m) exploration: the core's test set is flattened
+// into one contiguous care-bit array up front, the most recent wrapper
+// design (and its stimulus map) is kept so consecutive evaluations at
+// the same m share it, and the per-pattern sort buffer is reused across
+// calls. An Evaluator is not safe for concurrent use; parallel sweeps
+// give each worker its own (see lookup.go).
+type Evaluator struct {
+	core *soc.Core
+	ts   *cube.Set
+
+	// careRef packs the care bits of every cube, flattened:
+	// careRef[i] = pos<<1 | value. cubeOff[j] is cube j's offset, with
+	// a final sentinel at cubeOff[len(cubes)].
+	careRef []uint64
+	cubeOff []int
+
+	keys    []uint64 // per-pattern sort scratch
+	sortBuf []uint64 // radix-sort ping-pong scratch
+
+	lastM int // most recently built wrapper design (0 = none)
+	lastD *wrapper.Design
+}
+
+// NewEvaluator prepares an evaluator for the core, generating (and
+// caching on the core) its test set.
+func NewEvaluator(c *soc.Core) (*Evaluator, error) {
+	ts, err := c.TestSet()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{
+		core:    c,
+		ts:      ts,
+		careRef: make([]uint64, 0, ts.TotalCareBits()),
+		cubeOff: make([]int, ts.Len()+1),
+	}
+	for j, cb := range ts.Cubes {
+		e.cubeOff[j] = len(e.careRef)
+		for _, bit := range cb.Care {
+			r := uint64(bit.Pos) << 1
+			if bit.Value {
+				r |= 1
+			}
+			e.careRef = append(e.careRef, r)
+		}
+	}
+	e.cubeOff[ts.Len()] = len(e.careRef)
+	return e, nil
+}
+
+// Design returns the wrapper design for m chains, reusing the previous
+// one when m is unchanged — this is what lets TDC, PatternBits and
+// NoTDC calls at the same m share one design and stimulus map.
+func (e *Evaluator) Design(m int) (*wrapper.Design, error) {
+	if e.lastD != nil && e.lastM == m {
+		return e.lastD, nil
+	}
+	d, err := wrapper.New(e.core, m)
+	if err != nil {
+		return nil, err
+	}
+	e.lastM, e.lastD = m, d
+	return d, nil
+}
+
+// NoTDC evaluates testing the core through m direct TAM wires (one
 // wrapper chain per wire, no compression): the classic
 // τ = (1 + max(si,so))·p + min(si,so) regime.
-func EvalNoTDC(c *soc.Core, m int) (Config, error) {
-	d, err := wrapper.New(c, m)
+func (e *Evaluator) NoTDC(m int) (Config, error) {
+	d, err := e.Design(m)
 	if err != nil {
 		return Config{}, err
 	}
@@ -69,7 +135,7 @@ func EvalNoTDC(c *soc.Core, m int) (Config, error) {
 	}, nil
 }
 
-// EvalTDC evaluates testing the core through a selective-encoding
+// TDC evaluates testing the core through a selective-encoding
 // decompressor with m outputs (wrapper chains) and w = CodewordWidth(m)
 // TAM inputs. The test time charges one cycle per codeword, overlaps
 // each pattern's response shift-out with the next pattern's compressed
@@ -79,40 +145,14 @@ func EvalNoTDC(c *soc.Core, m int) (Config, error) {
 //	τ = cw_1 + Σ_{j>1} max(cw_j, so) + p + so
 //
 // The ATE volume is the exact compressed stream size, codewords × w.
-func EvalTDC(c *soc.Core, m int) (Config, error) {
-	d, err := wrapper.New(c, m)
+// groupCopy disables the codec's group-copy mode when false (the
+// ablation knob for the two-mode design choice).
+func (e *Evaluator) TDC(m int, groupCopy bool) (Config, error) {
+	d, err := e.Design(m)
 	if err != nil {
 		return Config{}, err
 	}
-	ts, err := c.TestSet()
-	if err != nil {
-		return Config{}, err
-	}
-	time, volume := tdcCost(d, ts, true)
-	return Config{
-		Feasible: true,
-		UseTDC:   true,
-		Codec:    CodecSelEnc,
-		Width:    selenc.CodewordWidth(m),
-		M:        m,
-		Time:     time,
-		Volume:   volume,
-	}, nil
-}
-
-// EvalTDCNoGroupCopy is EvalTDC with group-copy mode disabled: every
-// target bit costs one single-bit codeword. This is the ablation knob
-// for the two-mode codec design choice.
-func EvalTDCNoGroupCopy(c *soc.Core, m int) (Config, error) {
-	d, err := wrapper.New(c, m)
-	if err != nil {
-		return Config{}, err
-	}
-	ts, err := c.TestSet()
-	if err != nil {
-		return Config{}, err
-	}
-	time, volume := tdcCost(d, ts, false)
+	time, volume := e.tdcCost(d, groupCopy)
 	return Config{
 		Feasible: true,
 		UseTDC:   true,
@@ -127,67 +167,20 @@ func EvalTDCNoGroupCopy(c *soc.Core, m int) (Config, error) {
 // PatternBits returns the exact compressed size in bits of every test
 // pattern of the core under selective encoding with m wrapper chains —
 // the per-pattern cost model used by ATE-memory truncation planning.
-func PatternBits(c *soc.Core, m int) ([]int64, error) {
-	d, err := wrapper.New(c, m)
+func (e *Evaluator) PatternBits(m int) ([]int64, error) {
+	d, err := e.Design(m)
 	if err != nil {
 		return nil, err
 	}
-	ts, err := c.TestSet()
-	if err != nil {
-		return nil, err
-	}
-	k := selenc.PayloadBits(m)
-	w := int64(k + 2)
+	k := int64(selenc.PayloadBits(m))
+	w := k + 2
 	refs := d.StimulusMap()
 	si := int64(d.ScanIn)
 
-	out := make([]int64, ts.Len())
-	var keys []uint64
-	for j, cb := range ts.Cubes {
-		keys = keys[:0]
-		for _, bit := range cb.Care {
-			r := refs[bit.Pos]
-			key := uint64(r.Depth)<<32 | uint64(r.Chain)<<1
-			if bit.Value {
-				key |= 1
-			}
-			keys = append(keys, key)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		cw := si
-		for start := 0; start < len(keys); {
-			end := start
-			slice := keys[start] >> 32
-			ones := 0
-			for end < len(keys) && keys[end]>>32 == slice {
-				if keys[end]&1 != 0 {
-					ones++
-				}
-				end++
-			}
-			fill := uint64(0)
-			if ones*2 > end-start {
-				fill = 1
-			}
-			group := int64(-1)
-			inGroup := 0
-			for i := start; i < end; i++ {
-				if keys[i]&1 == fill {
-					continue
-				}
-				chain := int64(keys[i]>>1) & 0x7fffffff
-				g := chain / int64(k)
-				if g != group {
-					cw += flushGroup(inGroup, true)
-					group = g
-					inGroup = 0
-				}
-				inGroup++
-			}
-			cw += flushGroup(inGroup, true)
-			start = end
-		}
-		out[j] = cw * w
+	out := make([]int64, e.ts.Len())
+	for j := range out {
+		keys := e.patternKeys(refs, j)
+		out[j] = (si + sliceOps(keys, k, true)) * w
 	}
 	return out, nil
 }
@@ -197,66 +190,19 @@ func PatternBits(c *soc.Core, m int) ([]int64, error) {
 // selenc's cost model — per slice, one header plus min(t, 2) codewords
 // per group holding t target bits (fill = per-slice care majority) — and
 // is validated against the real encoder in the tests.
-func tdcCost(d *wrapper.Design, ts *cube.Set, groupCopy bool) (time, volume int64) {
-	m := d.M
-	k := selenc.PayloadBits(m)
+func (e *Evaluator) tdcCost(d *wrapper.Design, groupCopy bool) (time, volume int64) {
+	k := int64(selenc.PayloadBits(d.M))
 	w := k + 2
 	si := int64(d.ScanIn)
 	so := int64(d.ScanOut)
 	refs := d.StimulusMap()
 
-	// Per-pattern sort keys: slice-major, chain-minor, value in bit 0.
-	var keys []uint64
 	var totalCW int64
-	for j, cb := range ts.Cubes {
-		keys = keys[:0]
-		for _, bit := range cb.Care {
-			r := refs[bit.Pos]
-			key := uint64(r.Depth)<<32 | uint64(r.Chain)<<1
-			if bit.Value {
-				key |= 1
-			}
-			keys = append(keys, key)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-
-		// One header per slice, including fully-X slices.
-		cw := si
-		// Ops for each non-empty slice: runs of equal slice index.
-		for start := 0; start < len(keys); {
-			end := start
-			slice := keys[start] >> 32
-			ones := 0
-			for end < len(keys) && keys[end]>>32 == slice {
-				if keys[end]&1 != 0 {
-					ones++
-				}
-				end++
-			}
-			fill := uint64(0)
-			if ones*2 > end-start {
-				fill = 1
-			}
-			// Count targets per group over the chain-sorted run.
-			group := int64(-1)
-			inGroup := 0
-			for i := start; i < end; i++ {
-				if keys[i]&1 == fill {
-					continue
-				}
-				chain := int64(keys[i]>>1) & 0x7fffffff
-				g := chain / int64(k)
-				if g != group {
-					cw += flushGroup(inGroup, groupCopy)
-					group = g
-					inGroup = 0
-				}
-				inGroup++
-			}
-			cw += flushGroup(inGroup, groupCopy)
-			start = end
-		}
-
+	for j := 0; j < e.ts.Len(); j++ {
+		keys := e.patternKeys(refs, j)
+		// One header per slice (including fully-X slices) plus the
+		// encoding operations.
+		cw := si + sliceOps(keys, k, groupCopy)
 		totalCW += cw
 		if j == 0 {
 			time += cw
@@ -266,9 +212,111 @@ func tdcCost(d *wrapper.Design, ts *cube.Set, groupCopy bool) (time, volume int6
 			time += so
 		}
 	}
-	time += int64(ts.Len()) + so
-	volume = totalCW * int64(w)
+	time += int64(e.ts.Len()) + so
+	volume = totalCW * w
 	return time, volume
+}
+
+// patternKeys builds and sorts cube j's encoding keys: slice-major
+// (Depth in the high word), chain-minor, care-bit value in bit 0. The
+// returned slice aliases the evaluator's scratch buffer and is valid
+// until the next call.
+func (e *Evaluator) patternKeys(refs []wrapper.CellRef, j int) []uint64 {
+	keys := e.keys[:0]
+	for _, p := range e.careRef[e.cubeOff[j]:e.cubeOff[j+1]] {
+		r := refs[p>>1]
+		keys = append(keys, uint64(r.Depth)<<32|uint64(r.Chain)<<1|p&1)
+	}
+	e.keys = keys[:0] // keep grown capacity for the next pattern
+	e.sortKeys(keys)
+	return keys
+}
+
+// radixMinLen is the cube size above which the LSD radix sort beats the
+// comparison sort.
+const radixMinLen = 192
+
+// sortKeys sorts a pattern's keys ascending: slices.Sort for small
+// cubes, an LSD radix sort over the significant bytes for large ones.
+func (e *Evaluator) sortKeys(keys []uint64) {
+	if len(keys) < radixMinLen {
+		slices.Sort(keys)
+		return
+	}
+	var maxKey uint64
+	for _, k := range keys {
+		if k > maxKey {
+			maxKey = k
+		}
+	}
+	if cap(e.sortBuf) < len(keys) {
+		e.sortBuf = make([]uint64, len(keys))
+	}
+	src, dst := keys, e.sortBuf[:len(keys)]
+	for shift := uint(0); maxKey>>shift != 0; shift += 8 {
+		var counts [256]int
+		for _, k := range src {
+			counts[k>>shift&0xff]++
+		}
+		total := 0
+		for b, c := range counts {
+			counts[b] = total
+			total += c
+		}
+		for _, k := range src {
+			dst[counts[k>>shift&0xff]] = k
+			counts[k>>shift&0xff]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &keys[0] {
+		copy(keys, src)
+	}
+}
+
+// sliceOps returns the selective-encoding operation count for one
+// pattern's sorted keys under payload width k: per slice, min(t, 2)
+// codewords (single-bit, or group-index + literal-data when groupCopy)
+// for each group holding t target bits, where targets are the care bits
+// differing from the slice's majority fill. Slice headers are charged
+// by the caller. This is the single cost model shared by tdcCost and
+// PatternBits.
+func sliceOps(keys []uint64, k int64, groupCopy bool) int64 {
+	var ops int64
+	for start := 0; start < len(keys); {
+		end := start
+		slice := keys[start] >> 32
+		ones := 0
+		for end < len(keys) && keys[end]>>32 == slice {
+			if keys[end]&1 != 0 {
+				ones++
+			}
+			end++
+		}
+		fill := uint64(0)
+		if ones*2 > end-start {
+			fill = 1
+		}
+		// Count targets per group over the chain-sorted run.
+		group := int64(-1)
+		inGroup := 0
+		for i := start; i < end; i++ {
+			if keys[i]&1 == fill {
+				continue
+			}
+			chain := int64(keys[i]>>1) & 0x7fffffff
+			g := chain / k
+			if g != group {
+				ops += flushGroup(inGroup, groupCopy)
+				group = g
+				inGroup = 0
+			}
+			inGroup++
+		}
+		ops += flushGroup(inGroup, groupCopy)
+		start = end
+	}
+	return ops
 }
 
 func flushGroup(t int, groupCopy bool) int64 {
@@ -276,4 +324,54 @@ func flushGroup(t int, groupCopy bool) int64 {
 		return 2
 	}
 	return int64(t)
+}
+
+// EvalNoTDC evaluates testing the core through m direct TAM wires with
+// a one-shot evaluator. Sweeps should reuse an Evaluator instead.
+func EvalNoTDC(c *soc.Core, m int) (Config, error) {
+	// Direct access needs no test set, so keep the historical behavior
+	// of not generating one.
+	d, err := wrapper.New(c, m)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		Feasible: true,
+		Width:    m,
+		M:        m,
+		Time:     d.TestTime(),
+		Volume:   d.StimulusVolume(),
+	}, nil
+}
+
+// EvalTDC evaluates one compressed configuration with a one-shot
+// evaluator. Sweeps should reuse an Evaluator instead.
+func EvalTDC(c *soc.Core, m int) (Config, error) {
+	e, err := NewEvaluator(c)
+	if err != nil {
+		return Config{}, err
+	}
+	return e.TDC(m, true)
+}
+
+// EvalTDCNoGroupCopy is EvalTDC with group-copy mode disabled: every
+// target bit costs one single-bit codeword. This is the ablation knob
+// for the two-mode codec design choice.
+func EvalTDCNoGroupCopy(c *soc.Core, m int) (Config, error) {
+	e, err := NewEvaluator(c)
+	if err != nil {
+		return Config{}, err
+	}
+	return e.TDC(m, false)
+}
+
+// PatternBits returns the exact compressed size in bits of every test
+// pattern of the core under selective encoding with m wrapper chains,
+// with a one-shot evaluator.
+func PatternBits(c *soc.Core, m int) ([]int64, error) {
+	e, err := NewEvaluator(c)
+	if err != nil {
+		return nil, err
+	}
+	return e.PatternBits(m)
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -145,6 +147,134 @@ func referenceTDCquiet(c *soc.Core, m int) (int64, int64) {
 	}
 	time += int64(ts.Len()) + so
 	return time, totalCW * int64(w)
+}
+
+// TestEvalTDCLargeCubeMatchesRealEncoder covers the radix-sort path of
+// the kernel: cubes with well over radixMinLen care bits must still
+// match the real encoder exactly.
+func TestEvalTDCLargeCubeMatchesRealEncoder(t *testing.T) {
+	chains := make([]int, 24)
+	for i := range chains {
+		chains[i] = 120
+	}
+	c := &soc.Core{
+		Name: "bigcube", Inputs: 30, Outputs: 30,
+		ScanChains: chains, // 2880 cells
+		Patterns:   6, CareDensity: 0.25, Clustering: 0.4, Seed: 17,
+	}
+	ts := c.MustTestSet()
+	big := 0
+	for _, cb := range ts.Cubes {
+		if len(cb.Care) >= radixMinLen {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Fatal("test core produced no radix-sized cubes")
+	}
+	for _, m := range []int{5, 24, 40} {
+		got, err := EvalTDC(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTime, wantVol := referenceTDC(t, c, m)
+		if got.Time != wantTime || got.Volume != wantVol {
+			t.Errorf("m=%d: cost model (τ=%d, V=%d) != encoder (τ=%d, V=%d)",
+				m, got.Time, got.Volume, wantTime, wantVol)
+		}
+	}
+}
+
+// TestSortKeys pits the kernel's sort (including the radix path)
+// against the library sort on random key sets shaped like real ones.
+func TestSortKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var e Evaluator
+	for _, n := range []int{0, 1, 2, 50, radixMinLen - 1, radixMinLen, 500, 4096} {
+		keys := make([]uint64, n)
+		for i := range keys {
+			depth := uint64(rng.Intn(2000))
+			chain := uint64(rng.Intn(512))
+			keys[i] = depth<<32 | chain<<1 | uint64(rng.Intn(2))
+		}
+		want := slices.Clone(keys)
+		slices.Sort(want)
+		e.sortKeys(keys)
+		if !slices.Equal(keys, want) {
+			t.Fatalf("n=%d: sortKeys mismatch", n)
+		}
+	}
+}
+
+// TestEvaluatorMatchesOneShotAPI asserts the reusable evaluator returns
+// exactly what the package-level one-shot functions do, and that
+// consecutive calls at one m share the wrapper design.
+func TestEvaluatorMatchesOneShotAPI(t *testing.T) {
+	c := smallCore(23)
+	ev, err := NewEvaluator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []int{1, 5, 11} {
+		tdc, err := ev.TDC(m, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := EvalTDC(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tdc != want {
+			t.Errorf("m=%d: Evaluator.TDC %+v != EvalTDC %+v", m, tdc, want)
+		}
+		noGC, err := ev.TDC(m, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNoGC, err := EvalTDCNoGroupCopy(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if noGC != wantNoGC {
+			t.Errorf("m=%d: Evaluator.TDC(no group copy) mismatch", m)
+		}
+		direct, err := ev.NoTDC(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDirect, err := EvalNoTDC(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct != wantDirect {
+			t.Errorf("m=%d: Evaluator.NoTDC mismatch", m)
+		}
+		bits, err := ev.PatternBits(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBits, err := PatternBits(c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(bits, wantBits) {
+			t.Errorf("m=%d: Evaluator.PatternBits mismatch", m)
+		}
+	}
+	d1, err := ev.Design(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ev.Design(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("Design(7) rebuilt instead of reusing the cached design")
+	}
+	if _, err := ev.TDC(0, true); err == nil {
+		t.Error("m=0 accepted")
+	}
 }
 
 func TestEvalNoTDC(t *testing.T) {

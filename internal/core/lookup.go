@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"soctap/internal/selenc"
 	"soctap/internal/soc"
@@ -18,6 +20,13 @@ type TableOptions struct {
 	// exhaustively; larger bands are sampled uniformly, always including
 	// both band edges. Zero defaults to 48; negative means exhaustive.
 	BandSamples int
+	// Workers bounds the goroutines used to evaluate the table's (w, m)
+	// points. Zero defaults to runtime.GOMAXPROCS(0); 1 runs entirely on
+	// the calling goroutine. The table contents are bit-identical for
+	// every setting (workers write indexed slots and the reduction is
+	// sequential), so Workers is excluded from cache keys and from the
+	// options recorded on the table.
+	Workers int
 }
 
 func (o TableOptions) withDefaults() TableOptions {
@@ -28,6 +37,93 @@ func (o TableOptions) withDefaults() TableOptions {
 		o.BandSamples = 48
 	}
 	return o
+}
+
+// normalized is withDefaults plus the erasure of options that do not
+// affect table contents — the identity used for cache keys and recorded
+// in Table.Opts.
+func (o TableOptions) normalized() TableOptions {
+	o = o.withDefaults()
+	o.Workers = 0
+	return o
+}
+
+// resolveWorkers maps a Workers option to an actual pool size: zero (or
+// negative) means one worker per available CPU, and the pool never
+// exceeds the task count.
+func resolveWorkers(workers, tasks int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachEval runs fn(ev, i) for every i in [0, n) over a pool of
+// workers, giving each worker its own Evaluator for the core (the
+// per-worker scratch state of the hot kernel). Tasks must write results
+// to indexed slots so the outcome is independent of scheduling; with
+// workers <= 1 everything runs on the calling goroutine. The first
+// error (by task index) is returned.
+func forEachEval(c *soc.Core, workers, n int, fn func(ev *Evaluator, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = resolveWorkers(workers, n)
+	if workers == 1 {
+		ev, err := NewEvaluator(c)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			if err := fn(ev, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var initOnce sync.Once
+	var initErr error
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev, err := NewEvaluator(c)
+			if err != nil {
+				initOnce.Do(func() { initErr = err })
+				failed.Store(true)
+				return
+			}
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(ev, i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return initErr
 }
 
 // Table holds, for one core, the best test configuration at every TAM
@@ -53,18 +149,23 @@ type Table struct {
 
 // BuildTable constructs the lookup table for one core by exhaustive
 // wrapper design on the no-TDC side and banded (w, m) exploration on the
-// TDC side, exactly as Section 2 of the paper prescribes.
+// TDC side, exactly as Section 2 of the paper prescribes. The (w, m)
+// evaluations — the dominant CPU cost of every experiment — fan out
+// over Opts.Workers goroutines; the result is bit-identical to a
+// sequential build.
 func BuildTable(c *soc.Core, opts TableOptions) (*Table, error) {
 	opts = opts.withDefaults()
 	if opts.MaxWidth < 1 {
 		return nil, fmt.Errorf("core: MaxWidth %d", opts.MaxWidth)
 	}
+	// Generate the test set up front: validates the core and warms the
+	// cache every worker's Evaluator shares.
 	if _, err := c.TestSet(); err != nil {
 		return nil, err
 	}
 	t := &Table{
 		Core:     c,
-		Opts:     opts,
+		Opts:     opts.normalized(),
 		NoTDC:    make([]Config, opts.MaxWidth+1),
 		TDCExact: make([]Config, opts.MaxWidth+1),
 		TDCBest:  make([]Config, opts.MaxWidth+1),
@@ -72,20 +173,17 @@ func BuildTable(c *soc.Core, opts TableOptions) (*Table, error) {
 	}
 	maxM := c.MaxWrapperChains()
 
-	for u := 1; u <= opts.MaxWidth; u++ {
-		m := u
-		if m > maxM {
-			m = maxM
-		}
-		cfg, err := EvalNoTDC(c, m)
-		if err != nil {
-			return nil, err
-		}
-		// Width is the full TAM allocation even when chains are clamped.
-		cfg.Width = u
-		t.NoTDC[u] = cfg
+	// Collect the TDC evaluation points: each codeword-width band
+	// contributes its sampled m values, evaluated into indexed slots and
+	// reduced in ascending-m order afterwards.
+	type bandJob struct {
+		w    int
+		ms   []int
+		cfgs []Config
 	}
-
+	var bands []bandJob
+	type tdcTask struct{ band, slot int }
+	var tdcTasks []tdcTask
 	for w := 3; w <= opts.MaxWidth; w++ {
 		lo, hi, err := selenc.MBand(w)
 		if err != nil {
@@ -97,19 +195,64 @@ func BuildTable(c *soc.Core, opts TableOptions) (*Table, error) {
 		if hi > maxM {
 			hi = maxM
 		}
-		best := Config{}
-		for _, m := range sampleBand(lo, hi, opts.BandSamples) {
-			cfg, err := EvalTDC(c, m)
+		ms := sampleBand(lo, hi, opts.BandSamples)
+		bands = append(bands, bandJob{w: w, ms: ms, cfgs: make([]Config, len(ms))})
+		for slot := range ms {
+			tdcTasks = append(tdcTasks, tdcTask{band: len(bands) - 1, slot: slot})
+		}
+	}
+
+	// The no-TDC side only depends on the clamped chain count, so the
+	// distinct designs are m = 1..min(MaxWidth, maxM); widths beyond
+	// maxM reuse the maxM configuration with the width relabeled.
+	directM := opts.MaxWidth
+	if directM > maxM {
+		directM = maxM
+	}
+	direct := make([]Config, directM+1)
+
+	err := forEachEval(c, opts.Workers, directM+len(tdcTasks), func(ev *Evaluator, i int) error {
+		if i < directM {
+			cfg, err := ev.NoTDC(i + 1)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			direct[i+1] = cfg
+			return nil
+		}
+		task := tdcTasks[i-directM]
+		b := &bands[task.band]
+		cfg, err := ev.TDC(b.ms[task.slot], true)
+		if err != nil {
+			return err
+		}
+		b.cfgs[task.slot] = cfg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic reduction, identical to the sequential sweep order.
+	for u := 1; u <= opts.MaxWidth; u++ {
+		m := u
+		if m > directM {
+			m = directM
+		}
+		cfg := direct[m]
+		// Width is the full TAM allocation even when chains are clamped.
+		cfg.Width = u
+		t.NoTDC[u] = cfg
+	}
+	for _, b := range bands {
+		best := Config{}
+		for _, cfg := range b.cfgs {
 			if cfg.better(best) {
 				best = cfg
 			}
 		}
-		t.TDCExact[w] = best
+		t.TDCExact[b.w] = best
 	}
-
 	for u := 1; u <= opts.MaxWidth; u++ {
 		best := Config{}
 		if u >= 3 {
@@ -157,8 +300,16 @@ func sampleBand(lo, hi, samples int) []int {
 
 // SweepTDC evaluates every m in [lo, hi] (inclusive, clamped to the
 // core's feasible range) with the decompressor enabled, returning one
-// Config per m in order. This drives the Figure 2 analysis.
+// Config per m in order, using one worker per available CPU. This
+// drives the Figure 2 analysis.
 func SweepTDC(c *soc.Core, lo, hi int) ([]Config, error) {
+	return SweepTDCWorkers(c, lo, hi, 0)
+}
+
+// SweepTDCWorkers is SweepTDC with an explicit worker bound (zero means
+// runtime.GOMAXPROCS(0), 1 is fully sequential). The result is
+// identical for every bound.
+func SweepTDCWorkers(c *soc.Core, lo, hi, workers int) ([]Config, error) {
 	if lo < 1 {
 		lo = 1
 	}
@@ -168,22 +319,37 @@ func SweepTDC(c *soc.Core, lo, hi int) ([]Config, error) {
 	if hi < lo {
 		return nil, fmt.Errorf("core: empty sweep range [%d,%d] for %s", lo, hi, c.Name)
 	}
-	out := make([]Config, 0, hi-lo+1)
-	for m := lo; m <= hi; m++ {
-		cfg, err := EvalTDC(c, m)
+	if _, err := c.TestSet(); err != nil {
+		return nil, err
+	}
+	out := make([]Config, hi-lo+1)
+	err := forEachEval(c, workers, len(out), func(ev *Evaluator, i int) error {
+		cfg, err := ev.TDC(lo+i, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, cfg)
+		out[i] = cfg
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Cache memoizes lookup tables across optimizer runs. Tables are keyed
-// by core identity and option set; the zero value is ready to use.
+// by core identity and option set (excluding Workers, which does not
+// affect contents); the zero value is ready to use.
+//
+// Get is singleflight: concurrent callers asking for the same key block
+// on one build instead of duplicating it.
 type Cache struct {
 	mu     sync.Mutex
-	tables map[cacheKey]*Table
+	tables map[cacheKey]*cacheEntry
+
+	// buildHook, when non-nil, observes every table build the cache
+	// actually starts (test instrumentation). Set it before any Get.
+	buildHook func(*soc.Core, TableOptions)
 }
 
 type cacheKey struct {
@@ -191,27 +357,37 @@ type cacheKey struct {
 	opts TableOptions
 }
 
+type cacheEntry struct {
+	done chan struct{} // closed when t/err are valid
+	t    *Table
+	err  error
+}
+
 // Get returns the memoized table for (c, opts), building it on first
-// use.
+// use. Concurrent calls with the same key wait for the single build in
+// flight; a build error is cached (BuildTable is deterministic, so
+// retrying cannot succeed).
 func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
 	opts = opts.withDefaults()
-	key := cacheKey{core: c, opts: opts}
-	cc.mu.Lock()
-	if t, ok := cc.tables[key]; ok {
-		cc.mu.Unlock()
-		return t, nil
-	}
-	cc.mu.Unlock()
-
-	t, err := BuildTable(c, opts)
-	if err != nil {
-		return nil, err
-	}
+	key := cacheKey{core: c, opts: opts.normalized()}
 	cc.mu.Lock()
 	if cc.tables == nil {
-		cc.tables = make(map[cacheKey]*Table)
+		cc.tables = make(map[cacheKey]*cacheEntry)
 	}
-	cc.tables[key] = t
+	e, ok := cc.tables[key]
+	if ok {
+		cc.mu.Unlock()
+		<-e.done
+		return e.t, e.err
+	}
+	e = &cacheEntry{done: make(chan struct{})}
+	cc.tables[key] = e
 	cc.mu.Unlock()
-	return t, nil
+
+	if cc.buildHook != nil {
+		cc.buildHook(c, opts)
+	}
+	e.t, e.err = BuildTable(c, opts)
+	close(e.done)
+	return e.t, e.err
 }

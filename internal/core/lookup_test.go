@@ -1,6 +1,9 @@
 package core
 
 import (
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"soctap/internal/selenc"
@@ -183,6 +186,93 @@ func TestCacheMemoizes(t *testing.T) {
 	}
 	if t3 == t1 {
 		t.Error("different options shared a table")
+	}
+}
+
+// TestCacheGetSingleflight hammers one cache key from 16 goroutines and
+// asserts exactly one BuildTable runs: concurrent callers must block on
+// the in-flight build, not duplicate it.
+func TestCacheGetSingleflight(t *testing.T) {
+	c := compressibleCore(7)
+	var cache Cache
+	var builds atomic.Int64
+	cache.buildHook = func(*soc.Core, TableOptions) { builds.Add(1) }
+
+	const callers = 16
+	tables := make([]*Table, callers)
+	errs := make([]error, callers)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			start.Wait() // maximize contention
+			tables[i], errs[i] = cache.Get(c, TableOptions{MaxWidth: 12})
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Errorf("%d builds for one key, want 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if tables[i] != tables[0] {
+			t.Errorf("caller %d got a different table", i)
+		}
+	}
+	// Workers must not fragment the cache: same key modulo Workers.
+	if tab, err := cache.Get(c, TableOptions{MaxWidth: 12, Workers: 4}); err != nil || tab != tables[0] {
+		t.Errorf("Workers option fragmented the cache key (err %v)", err)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("%d builds after Workers-varied Get, want 1", n)
+	}
+}
+
+// TestBuildTableWorkersDeterminism asserts the parallel build is
+// byte-identical to the sequential one on d695 cores.
+func TestBuildTableWorkersDeterminism(t *testing.T) {
+	for _, c := range soc.D695().Cores[:5] {
+		seq, err := BuildTable(c, TableOptions{MaxWidth: 24, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := BuildTable(c, TableOptions{MaxWidth: 24, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: Workers=8 table differs from Workers=1", c.Name)
+		}
+	}
+}
+
+// TestSweepTDCWorkersEquivalence asserts the parallel sweep matches the
+// sequential one configuration-for-configuration.
+func TestSweepTDCWorkersEquivalence(t *testing.T) {
+	c := compressibleCore(9)
+	seq, err := SweepTDCWorkers(c, 4, 31, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SweepTDCWorkers(c, 4, 31, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel sweep differs from sequential")
+	}
+	def, err := SweepTDC(c, 4, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, def) {
+		t.Error("default-workers sweep differs from sequential")
 	}
 }
 

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"soctap/internal/decomp"
@@ -73,6 +75,13 @@ type Options struct {
 	// the pair that shortens the schedule most. The best of the even-
 	// split and merge-seeded searches wins.
 	MergeSearch bool
+	// Workers bounds the evaluation engine's parallelism: per-core
+	// lookup tables are built concurrently and each table's (w, m)
+	// exploration fans out over the same bound (unless Tables.Workers
+	// overrides it). Zero defaults to runtime.GOMAXPROCS(0); 1 recovers
+	// the fully sequential engine. Results are bit-identical for every
+	// setting.
+	Workers int
 }
 
 // CoreChoice reports the configuration chosen for one core.
@@ -138,28 +147,14 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: table MaxWidth %d below W_TAM %d", tabOpts.MaxWidth, wtam)
 	}
 
+	if tabOpts.Workers == 0 {
+		tabOpts.Workers = opts.Workers
+	}
+
 	tStart := time.Now()
-	selectors := make([]selector, len(s.Cores))
-	for i, c := range s.Cores {
-		var t *Table
-		var err error
-		if opts.Cache != nil {
-			t, err = opts.Cache.Get(c, tabOpts)
-		} else {
-			t, err = BuildTable(c, tabOpts)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if opts.EnableDict && opts.Style == StyleTDCPerCore {
-			sel, err := selectTechniquesWithTable(c, t, opts.DictSizes)
-			if err != nil {
-				return nil, err
-			}
-			selectors[i] = sel.selector()
-		} else {
-			selectors[i] = tableSelector(opts.Style, t)
-		}
+	selectors, err := buildSelectors(s, tabOpts, opts)
+	if err != nil {
+		return nil, err
 	}
 	tableSeconds := time.Since(tStart).Seconds()
 
@@ -222,6 +217,72 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 	}
 	fillDetails(res, selectors)
 	return res, nil
+}
+
+// buildSelectors prepares each core's configuration selector, building
+// the per-core lookup tables concurrently (bounded by opts.Workers).
+// Cache hits go through the singleflight Cache.Get, so concurrent
+// optimizer runs sharing a cache never duplicate a build. The first
+// error in core order is returned.
+func buildSelectors(s *soc.SOC, tabOpts TableOptions, opts Options) ([]selector, error) {
+	build := func(i int) (selector, error) {
+		c := s.Cores[i]
+		var t *Table
+		var err error
+		if opts.Cache != nil {
+			t, err = opts.Cache.Get(c, tabOpts)
+		} else {
+			t, err = BuildTable(c, tabOpts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if opts.EnableDict && opts.Style == StyleTDCPerCore {
+			sel, err := selectTechniquesWithTable(c, t, opts.DictSizes)
+			if err != nil {
+				return nil, err
+			}
+			return sel.selector(), nil
+		}
+		return tableSelector(opts.Style, t), nil
+	}
+
+	selectors := make([]selector, len(s.Cores))
+	workers := resolveWorkers(opts.Workers, len(s.Cores))
+	if workers == 1 {
+		for i := range s.Cores {
+			sel, err := build(i)
+			if err != nil {
+				return nil, err
+			}
+			selectors[i] = sel
+		}
+		return selectors, nil
+	}
+
+	errs := make([]error, len(s.Cores))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.Cores) {
+					return
+				}
+				selectors[i], errs[i] = build(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return selectors, nil
 }
 
 // mergeSearch runs the bottom-up pass: start from kmax unit-ish buses

@@ -56,14 +56,14 @@ func Ablations() (*AblationResult, error) {
 
 	// 2. Within-band best-m exploration vs band maximum.
 	full, err := core.Optimize(sys1, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
 		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 48},
 	})
 	if err != nil {
 		return nil, err
 	}
 	bandMax, err := core.Optimize(sys1, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
 		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 1},
 	})
 	if err != nil {
@@ -77,14 +77,14 @@ func Ablations() (*AblationResult, error) {
 
 	// 3. TAM-partition refinement vs even splits (prime budget).
 	refined, err := core.Optimize(sys1, 37, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
 		Tables: core.TableOptions{MaxWidth: 37},
 	})
 	if err != nil {
 		return nil, err
 	}
 	even, err := core.Optimize(sys1, 37, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
 		Tables: core.TableOptions{MaxWidth: 37}, DisableRefinement: true,
 	})
 	if err != nil {
@@ -102,14 +102,14 @@ func Ablations() (*AblationResult, error) {
 		return nil, err
 	}
 	lpt, err := core.Optimize(sys2, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
 		Tables: core.TableOptions{MaxWidth: tableWidth},
 	})
 	if err != nil {
 		return nil, err
 	}
 	naive, err := core.Optimize(sys2, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
 		Tables: core.TableOptions{MaxWidth: tableWidth}, NaiveOrder: true,
 	})
 	if err != nil {
@@ -152,7 +152,7 @@ func Verify() (*VerifyResult, error) {
 			return nil, fmt.Errorf("unknown design %s", name)
 		}
 		res, err := core.Optimize(s, 32, core.Options{
-			Style: core.StyleTDCPerCore, Cache: &sharedCache,
+			Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
 		})
 		if err != nil {

@@ -21,6 +21,17 @@ var sharedCache core.Cache
 // SharedCache exposes the process-wide table cache.
 func SharedCache() *core.Cache { return &sharedCache }
 
+// engineWorkers bounds the evaluation-engine parallelism used by every
+// experiment; 0 means one worker per available CPU (the engine
+// default). Results are bit-identical for every setting.
+var engineWorkers int
+
+// SetWorkers bounds the evaluation-engine parallelism of subsequent
+// experiment runs (0 = one worker per CPU, 1 = fully sequential). Call
+// it before launching experiments; cmd/repro wires its -workers flag
+// here.
+func SetWorkers(n int) { engineWorkers = n }
+
 // tableWidth is the lookup-table width used across experiments: wide
 // enough for every W_TAM the paper sweeps.
 const tableWidth = 64

@@ -38,7 +38,7 @@ func Fig2() (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfgs, err := core.SweepTDC(c, lo, hi)
+	cfgs, err := core.SweepTDCWorkers(c, lo, hi, engineWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +95,7 @@ func Fig3() (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab, err := sharedCache.Get(c, core.TableOptions{MaxWidth: tableWidth})
+	tab, err := sharedCache.Get(c, core.TableOptions{MaxWidth: tableWidth, Workers: engineWorkers})
 	if err != nil {
 		return nil, err
 	}
@@ -161,7 +161,7 @@ func Fig4() (*Fig4Result, error) {
 		res, err := core.Optimize(s, r.WTAM, core.Options{
 			Style:  style,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
-			Cache:  &sharedCache,
+			Cache:  &sharedCache, Workers: engineWorkers,
 		})
 		if err != nil {
 			return nil, err

@@ -41,15 +41,17 @@ func Seeds() (*SeedsResult, error) {
 		}
 		// Fresh tables: seeds change the cubes, so no shared cache.
 		noTDC, err := core.Optimize(base, 32, core.Options{
-			Style:  core.StyleNoTDC,
-			Tables: core.TableOptions{MaxWidth: 32},
+			Style:   core.StyleNoTDC,
+			Tables:  core.TableOptions{MaxWidth: 32},
+			Workers: engineWorkers,
 		})
 		if err != nil {
 			return nil, err
 		}
 		tdc, err := core.Optimize(base, 32, core.Options{
-			Style:  core.StyleTDCPerCore,
-			Tables: core.TableOptions{MaxWidth: 32},
+			Style:   core.StyleTDCPerCore,
+			Tables:  core.TableOptions{MaxWidth: 32},
+			Workers: engineWorkers,
 		})
 		if err != nil {
 			return nil, err

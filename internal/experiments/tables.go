@@ -37,7 +37,7 @@ func Tab1() (*Tab1Result, error) {
 			ours, err := core.Optimize(design, wate, core.Options{
 				Style:  core.StyleTDCPerCore,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
-				Cache:  &sharedCache,
+				Cache:  &sharedCache, Workers: engineWorkers,
 			})
 			if err != nil {
 				return nil, err
@@ -113,7 +113,7 @@ func Tab2() (*Tab2Result, error) {
 		ours, err := core.Optimize(design, wtam, core.Options{
 			Style:  core.StyleTDCPerCore,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
-			Cache:  &sharedCache,
+			Cache:  &sharedCache, Workers: engineWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -215,7 +215,7 @@ func Tab3() (*Tab3Result, error) {
 			noTDC, err := core.Optimize(design, wtam, core.Options{
 				Style:  core.StyleNoTDC,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
-				Cache:  &sharedCache,
+				Cache:  &sharedCache, Workers: engineWorkers,
 			})
 			if err != nil {
 				return nil, err
@@ -223,7 +223,7 @@ func Tab3() (*Tab3Result, error) {
 			tdc, err := core.Optimize(design, wtam, core.Options{
 				Style:  core.StyleTDCPerCore,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
-				Cache:  &sharedCache,
+				Cache:  &sharedCache, Workers: engineWorkers,
 			})
 			if err != nil {
 				return nil, err

@@ -15,6 +15,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"soctap/internal/soc"
 )
@@ -43,6 +44,9 @@ type Design struct {
 	Chains  []Chain
 	ScanIn  int // si: longest scan-in (stimulus) chain
 	ScanOut int // so: longest scan-out (response) chain
+
+	refsOnce sync.Once
+	refs     []CellRef
 }
 
 // New builds a wrapper design with m wrapper chains using best-fit-
@@ -214,7 +218,16 @@ type CellRef struct {
 // first (in chain order), then the core's scan chains in declaration
 // order. Depth d means the cell receives its value in scan-in slice d of
 // each pattern.
+//
+// The map is computed once per design and the same slice is returned to
+// every caller (it is safe for concurrent use); callers must treat it
+// as read-only.
 func (d *Design) StimulusMap() []CellRef {
+	d.refsOnce.Do(func() { d.refs = d.buildStimulusMap() })
+	return d.refs
+}
+
+func (d *Design) buildStimulusMap() []CellRef {
 	refs := make([]CellRef, d.Core.StimulusBits())
 
 	// Wrapper input cells: chains take their InCells count in chain

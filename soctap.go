@@ -135,9 +135,17 @@ func BuildTable(c *Core, opts TableOptions) (*Table, error) {
 }
 
 // SweepTDC evaluates every wrapper-chain count m in [lo, hi] with the
-// decompressor enabled — the analysis behind Figures 2 and 3.
+// decompressor enabled — the analysis behind Figures 2 and 3. The sweep
+// fans out over one worker per CPU; results are identical to a
+// sequential sweep.
 func SweepTDC(c *Core, lo, hi int) ([]Config, error) {
 	return core.SweepTDC(c, lo, hi)
+}
+
+// SweepTDCWorkers is SweepTDC with an explicit worker bound (zero means
+// one worker per CPU, 1 is fully sequential).
+func SweepTDCWorkers(c *Core, lo, hi, workers int) ([]Config, error) {
+	return core.SweepTDCWorkers(c, lo, hi, workers)
 }
 
 // EvalTDC evaluates one compressed configuration (m wrapper chains,
