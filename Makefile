@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short
+.PHONY: check vet build test race bench bench-short bench-smoke
 
 # check is the tier-1 gate: everything must pass before a change lands.
-check: vet build test race
+check: vet build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,3 +29,11 @@ bench:
 # kernel and the serial-vs-parallel table build.
 bench-short:
 	$(GO) test -run '^$$' -bench 'BenchmarkTDCCostKernel|BenchmarkBuildTable' -benchmem ./internal/core
+
+# bench-smoke compiles and runs each fast benchmark exactly once — a
+# regression tripwire for the benchmark code itself, cheap enough for
+# the tier-1 gate (no timing is measured at -benchtime=1x).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTDCCostKernel|BenchmarkBuildTableSerial|BenchmarkBuildTableParallel' -benchtime 1x ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedySchedule|BenchmarkGreedy50Cores' -benchtime 1x ./internal/sched
+	$(GO) test -run '^$$' -bench 'BenchmarkOptimizeSearch' -benchtime 1x .

@@ -231,6 +231,37 @@ func BenchmarkOptimizeD695(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeSearch isolates the Section 3 architecture search —
+// the paper's CPU column — from table building: tables are prebuilt
+// into the shared cache outside the timed region, the engine is forced
+// sequential (so the duration matrix and the search-wide schedule memo
+// are measured on their own, not parallelism), and MergeSearch
+// exercises every search phase. The makespan metric pins the result:
+// search speedups must not move it.
+func BenchmarkOptimizeSearch(b *testing.B) {
+	s := soctap.D695()
+	opts := soctap.Options{
+		Style:       soctap.StyleTDCPerCore,
+		Tables:      soctap.TableOptions{MaxWidth: 64},
+		Cache:       experiments.SharedCache(),
+		Workers:     1,
+		MergeSearch: true,
+	}
+	// Warm the tables outside the timed region.
+	if _, err := soctap.Optimize(s, 64, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := soctap.Optimize(s, 64, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TestTime), "makespan-cycles")
+	}
+}
+
 // BenchmarkVerifyPlan measures the cycle-accurate verification of a
 // complete d695 plan.
 func BenchmarkVerifyPlan(b *testing.B) {

@@ -24,6 +24,7 @@ import (
 func main() {
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	workers := flag.Int("workers", 0, "evaluation-engine worker goroutines (0 = one per CPU, 1 = sequential; results are identical)")
+	tableCache := flag.String("table-cache", "", "directory for the persistent lookup-table cache (reused across runs)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: repro [-o file] {fig2|fig3|fig4|tab1|tab2|tab3|ablations|techsel|seeds|verify|all}\n")
 		flag.PrintDefaults()
@@ -34,6 +35,9 @@ func main() {
 		os.Exit(2)
 	}
 	experiments.SetWorkers(*workers)
+	if *tableCache != "" {
+		experiments.SetTableCacheDir(*tableCache)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

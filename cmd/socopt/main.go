@@ -36,6 +36,7 @@ func main() {
 	ateFreq := flag.Float64("ate-mhz", 50, "ATE frequency in MHz for wall-clock reporting")
 	gantt := flag.Bool("gantt", false, "draw the schedule as an ASCII Gantt chart")
 	techsel := flag.Bool("techsel", false, "extend per-core choices with dictionary coding (technique selection)")
+	tableCache := flag.String("table-cache", "", "directory for the persistent lookup-table cache (reused across runs)")
 	jsonOut := flag.String("json", "", "also write the plan as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
@@ -58,6 +59,8 @@ func main() {
 		Tables:     core.TableOptions{BandSamples: *bandSamples},
 		EnableDict: *techsel,
 		Workers:    *workers,
+
+		TableCacheDir: *tableCache,
 	})
 	if err != nil {
 		fatal(err)

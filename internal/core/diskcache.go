@@ -1,0 +1,107 @@
+package core
+
+// This file implements the persistent on-disk lookup-table cache. Table
+// builds dominate every cold run (the "TDC time" of the paper's CPU
+// accounting), and they are pure functions of the core's structural
+// content and the normalized TableOptions — so entries are
+// content-addressed by the same contentKey the in-memory Cache uses,
+// and survive process restarts.
+//
+// Format: each entry is a file <dir>/<key>.table holding a gob-encoded
+// diskEntry whose Version field ties it to this code revision. Writes go
+// through a temp file in the same directory followed by an atomic
+// rename, so a concurrent reader never observes a half-written entry.
+// Readers treat every failure — missing file, truncation, garbage,
+// version or key mismatch, shape mismatch — as a cache miss: the table
+// is rebuilt and the entry rewritten, never trusted, and corruption
+// never surfaces as an error.
+
+import (
+	"encoding/gob"
+	"os"
+	"path/filepath"
+
+	"soctap/internal/soc"
+)
+
+// diskCacheVersion tags every entry. Bump it whenever diskEntry,
+// Config, or table semantics change; stale entries then read as misses
+// and are rebuilt in place.
+const diskCacheVersion = "soctap-diskcache-v1"
+
+// diskEntry is the serialized form of a Table. The Core pointer is
+// deliberately not stored: the requesting core is re-attached on load
+// (the content key guarantees it is structurally identical).
+type diskEntry struct {
+	Version  string
+	Key      string
+	Opts     TableOptions
+	NoTDC    []Config
+	TDCExact []Config
+	TDCBest  []Config
+	Best     []Config
+}
+
+func diskPath(dir, key string) string {
+	return filepath.Join(dir, key+".table")
+}
+
+// loadDiskTable reads the entry for key and re-attaches it to core c.
+// Any failure or mismatch reports ok=false; the caller rebuilds.
+func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (*Table, bool) {
+	f, err := os.Open(diskPath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	var e diskEntry
+	if err := gob.NewDecoder(f).Decode(&e); err != nil {
+		return nil, false
+	}
+	if e.Version != diskCacheVersion || e.Key != key || e.Opts != opts {
+		return nil, false
+	}
+	n := opts.MaxWidth + 1
+	if len(e.NoTDC) != n || len(e.TDCExact) != n || len(e.TDCBest) != n || len(e.Best) != n {
+		return nil, false
+	}
+	return &Table{
+		Core:     c,
+		Opts:     e.Opts,
+		NoTDC:    e.NoTDC,
+		TDCExact: e.TDCExact,
+		TDCBest:  e.TDCBest,
+		Best:     e.Best,
+	}, true
+}
+
+// storeDiskTable writes the entry for key atomically (temp file +
+// rename). Errors are returned for tests but callers treat the store as
+// best-effort: a failed write only costs a rebuild next run.
+func storeDiskTable(dir, key string, t *Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-"+key+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	e := diskEntry{
+		Version:  diskCacheVersion,
+		Key:      key,
+		Opts:     t.Opts,
+		NoTDC:    t.NoTDC,
+		TDCExact: t.TDCExact,
+		TDCBest:  t.TDCBest,
+		Best:     t.Best,
+	}
+	if err := gob.NewEncoder(tmp).Encode(&e); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), diskPath(dir, key))
+}

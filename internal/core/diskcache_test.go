@@ -1,0 +1,208 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"soctap/internal/soc"
+)
+
+// cacheDirEntries lists the table files currently in dir.
+func cacheDirEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.table"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestDiskCacheRoundTrip: a table that passed through the disk cache is
+// field-for-field identical to the freshly built one.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := compressibleCore(11)
+	opts := TableOptions{MaxWidth: 12}
+
+	var warm Cache
+	warm.SetDir(dir)
+	built, err := warm.Get(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheDirEntries(t, dir); len(got) != 1 {
+		t.Fatalf("%d cache files after first build, want 1", len(got))
+	}
+
+	var cold Cache
+	cold.SetDir(dir)
+	var builds atomic.Int64
+	cold.buildHook = func(*soc.Core, TableOptions) { builds.Add(1) }
+	loaded, err := cold.Get(compressibleCore(11), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 0 {
+		t.Errorf("%d builds on a warm disk cache, want 0", n)
+	}
+	// Compare every field except the Core pointer, which is re-attached
+	// on load (the content key guarantees structural identity).
+	a, b := *built, *loaded
+	a.Core, b.Core = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		t.Error("loaded table differs from built table")
+	}
+}
+
+// TestDiskCacheCorruption: truncated or garbage entries and stale
+// version tags must read as misses — the table is silently rebuilt and
+// the entry rewritten.
+func TestDiskCacheCorruption(t *testing.T) {
+	c := compressibleCore(12)
+	opts := TableOptions{MaxWidth: 10}
+
+	corruptions := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"garbage", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("not a gob stream"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"stale-version", func(t *testing.T, path string) {
+			// Re-encode the entry under a version tag this code no
+			// longer accepts.
+			tab, err := BuildTable(c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := filepath.Dir(path)
+			key := contentKey(c, opts.normalized())
+			if err := storeDiskTable(dir, key, tab); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The version string appears verbatim in the gob stream;
+			// flip a byte inside it.
+			idx := -1
+			for i := 0; i+len(diskCacheVersion) <= len(data); i++ {
+				if string(data[i:i+len(diskCacheVersion)]) == diskCacheVersion {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Fatal("version tag not found in encoded entry")
+			}
+			data[idx+len(diskCacheVersion)-1]++
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			var warm Cache
+			warm.SetDir(dir)
+			built, err := warm.Get(c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files := cacheDirEntries(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("%d cache files, want 1", len(files))
+			}
+			tc.corrupt(t, files[0])
+
+			// The corrupted entry must trigger a silent rebuild...
+			var again Cache
+			again.SetDir(dir)
+			var builds atomic.Int64
+			again.buildHook = func(*soc.Core, TableOptions) { builds.Add(1) }
+			rebuilt, err := again.Get(c, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := builds.Load(); n != 1 {
+				t.Errorf("%d builds after corruption, want 1", n)
+			}
+			a, b := *built, *rebuilt
+			a.Core, b.Core = nil, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Error("rebuilt table differs from original")
+			}
+
+			// ...and the rewritten entry must be good: a third cache
+			// loads it without building.
+			var third Cache
+			third.SetDir(dir)
+			var builds3 atomic.Int64
+			third.buildHook = func(*soc.Core, TableOptions) { builds3.Add(1) }
+			if _, err := third.Get(c, opts); err != nil {
+				t.Fatal(err)
+			}
+			if n := builds3.Load(); n != 0 {
+				t.Errorf("%d builds from the rewritten entry, want 0", n)
+			}
+		})
+	}
+}
+
+// TestOptimizeTableCacheDir: end-to-end through Options.TableCacheDir —
+// the second run reloads every table from disk (≈0 table time) and
+// reproduces the first run's result exactly.
+func TestOptimizeTableCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	s := testSOC()
+	opts := Options{
+		Style:         StyleTDCPerCore,
+		Tables:        TableOptions{MaxWidth: 16},
+		TableCacheDir: dir,
+	}
+	cold, err := Optimize(s, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cacheDirEntries(t, dir)) != len(s.Cores) {
+		t.Fatalf("%d cache files, want %d", len(cacheDirEntries(t, dir)), len(s.Cores))
+	}
+
+	// Second run with a fresh in-memory cache: every table must come
+	// from disk, with zero rebuilds.
+	var builds atomic.Int64
+	fresh := new(Cache)
+	fresh.buildHook = func(*soc.Core, TableOptions) { builds.Add(1) }
+	opts.Cache = fresh
+	warm, err := Optimize(testSOC(), 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 0 {
+		t.Errorf("%d table builds on a warm disk cache, want 0", n)
+	}
+	if warm.TestTime != cold.TestTime || warm.Volume != cold.Volume {
+		t.Errorf("warm run differs: time %d vs %d, volume %d vs %d",
+			warm.TestTime, cold.TestTime, warm.Volume, cold.Volume)
+	}
+	if !reflect.DeepEqual(warm.Partition, cold.Partition) {
+		t.Errorf("warm partition %v differs from cold %v", warm.Partition, cold.Partition)
+	}
+}

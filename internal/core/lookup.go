@@ -338,23 +338,26 @@ func SweepTDCWorkers(c *soc.Core, lo, hi, workers int) ([]Config, error) {
 }
 
 // Cache memoizes lookup tables across optimizer runs. Tables are keyed
-// by core identity and option set (excluding Workers, which does not
-// affect contents); the zero value is ready to use.
+// by a hash of the core's structural content plus the normalized option
+// set (excluding Workers, which does not affect contents), so
+// structurally identical cores — e.g. the same design file parsed twice
+// — share one entry. The zero value is ready to use.
 //
 // Get is singleflight: concurrent callers asking for the same key block
 // on one build instead of duplicating it.
+//
+// SetDir layers a persistent on-disk store (see diskcache.go) under the
+// in-memory map: misses consult the directory before building, and
+// fresh builds are written back for future processes.
 type Cache struct {
 	mu     sync.Mutex
-	tables map[cacheKey]*cacheEntry
+	tables map[string]*cacheEntry
+	dir    string // optional on-disk layer; "" = memory only
 
 	// buildHook, when non-nil, observes every table build the cache
-	// actually starts (test instrumentation). Set it before any Get.
+	// actually starts (test instrumentation; disk-cache hits do not
+	// count as builds). Set it before any Get.
 	buildHook func(*soc.Core, TableOptions)
-}
-
-type cacheKey struct {
-	core *soc.Core
-	opts TableOptions
 }
 
 type cacheEntry struct {
@@ -363,17 +366,28 @@ type cacheEntry struct {
 	err  error
 }
 
+// SetDir attaches a persistent on-disk table store at dir (created on
+// first write). Entries found there satisfy Get without a rebuild;
+// tables built after this call are written back, best-effort. Call it
+// before concurrent use.
+func (cc *Cache) SetDir(dir string) {
+	cc.mu.Lock()
+	cc.dir = dir
+	cc.mu.Unlock()
+}
+
 // Get returns the memoized table for (c, opts), building it on first
 // use. Concurrent calls with the same key wait for the single build in
 // flight; a build error is cached (BuildTable is deterministic, so
 // retrying cannot succeed).
 func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
 	opts = opts.withDefaults()
-	key := cacheKey{core: c, opts: opts.normalized()}
+	key := contentKey(c, opts.normalized())
 	cc.mu.Lock()
 	if cc.tables == nil {
-		cc.tables = make(map[cacheKey]*cacheEntry)
+		cc.tables = make(map[string]*cacheEntry)
 	}
+	dir := cc.dir
 	e, ok := cc.tables[key]
 	if ok {
 		cc.mu.Unlock()
@@ -384,10 +398,21 @@ func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
 	cc.tables[key] = e
 	cc.mu.Unlock()
 
+	if dir != "" {
+		if t, ok := loadDiskTable(dir, key, c, opts.normalized()); ok {
+			e.t = t
+			close(e.done)
+			return e.t, nil
+		}
+	}
 	if cc.buildHook != nil {
 		cc.buildHook(c, opts)
 	}
 	e.t, e.err = BuildTable(c, opts)
+	if e.err == nil && dir != "" {
+		// Best-effort: a failed write only costs a rebuild next run.
+		_ = storeDiskTable(dir, key, e.t)
+	}
 	close(e.done)
 	return e.t, e.err
 }

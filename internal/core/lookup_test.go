@@ -234,6 +234,46 @@ func TestCacheGetSingleflight(t *testing.T) {
 	}
 }
 
+// TestCacheContentAddressed asserts the cache keys on core content, not
+// identity: a structurally identical core at a different address shares
+// the entry (no second build), while any content change gets its own.
+func TestCacheContentAddressed(t *testing.T) {
+	var cache Cache
+	var builds atomic.Int64
+	cache.buildHook = func(*soc.Core, TableOptions) { builds.Add(1) }
+	opts := TableOptions{MaxWidth: 12}
+
+	c1 := compressibleCore(5)
+	c2 := compressibleCore(5) // same content, distinct pointer
+	t1, err := cache.Get(c1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := cache.Get(c2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("structurally identical cores got different tables")
+	}
+	if n := builds.Load(); n != 1 {
+		t.Errorf("%d builds for identical content, want 1", n)
+	}
+
+	c3 := compressibleCore(5)
+	c3.Name = "renamed"
+	if _, err := cache.Get(c3, opts); err != nil {
+		t.Fatal(err)
+	}
+	c4 := compressibleCore(6) // different generator seed
+	if _, err := cache.Get(c4, opts); err != nil {
+		t.Fatal(err)
+	}
+	if n := builds.Load(); n != 3 {
+		t.Errorf("%d builds across three distinct contents, want 3", n)
+	}
+}
+
 // TestBuildTableWorkersDeterminism asserts the parallel build is
 // byte-identical to the sequential one on d695 cores.
 func TestBuildTableWorkersDeterminism(t *testing.T) {

@@ -76,12 +76,19 @@ type Options struct {
 	// split and merge-seeded searches wins.
 	MergeSearch bool
 	// Workers bounds the evaluation engine's parallelism: per-core
-	// lookup tables are built concurrently and each table's (w, m)
+	// lookup tables are built concurrently, each table's (w, m)
 	// exploration fans out over the same bound (unless Tables.Workers
-	// overrides it). Zero defaults to runtime.GOMAXPROCS(0); 1 recovers
-	// the fully sequential engine. Results are bit-identical for every
-	// setting.
+	// overrides it), and the architecture search evaluates candidate
+	// partitions concurrently. Zero defaults to runtime.GOMAXPROCS(0);
+	// 1 recovers the fully sequential engine. Results are bit-identical
+	// for every setting.
 	Workers int
+	// TableCacheDir, when non-empty, layers a persistent on-disk table
+	// store under the (possibly implicit) in-memory Cache: lookup tables
+	// are content-addressed by core structure and options, loaded from
+	// disk when present, and written back after a build. Corrupt, stale
+	// or truncated entries are silently rebuilt.
+	TableCacheDir string
 }
 
 // CoreChoice reports the configuration chosen for one core.
@@ -150,6 +157,12 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 	if tabOpts.Workers == 0 {
 		tabOpts.Workers = opts.Workers
 	}
+	if opts.TableCacheDir != "" {
+		if opts.Cache == nil {
+			opts.Cache = new(Cache)
+		}
+		opts.Cache.SetDir(opts.TableCacheDir)
+	}
 
 	tStart := time.Now()
 	selectors, err := buildSelectors(s, tabOpts, opts)
@@ -157,14 +170,6 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		return nil, err
 	}
 	tableSeconds := time.Since(tStart).Seconds()
-
-	dur := durationFn(selectors)
-	schedule := func(p tam.Partition) (*sched.Schedule, error) {
-		if opts.NaiveOrder {
-			return sched.InOrder(len(s.Cores), p, dur)
-		}
-		return sched.Greedy(len(s.Cores), p, dur)
-	}
 
 	searchStart := time.Now()
 	kmax := opts.MaxTAMs
@@ -175,33 +180,48 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		kmax = wtam
 	}
 
+	sctx := newSearchCtx(s, wtam, selectors, opts)
+
 	var bestPart tam.Partition
-	var bestSched *sched.Schedule
-	consider := func(part tam.Partition, cur *sched.Schedule) {
+	bestMk := int64(-1)
+	consider := func(part tam.Partition, mk int64) {
 		if !opts.DisableRefinement {
-			part, cur = refine(part, cur, schedule, opts.MaxIterations)
+			part, mk = sctx.refine(part, mk, opts.MaxIterations)
 		}
-		if bestSched == nil || cur.Makespan < bestSched.Makespan {
-			bestPart, bestSched = part, cur
+		if bestMk < 0 || mk < bestMk {
+			bestPart, bestMk = part, mk
 		}
 	}
+	// Even splits for every bus count are independent; evaluate the
+	// whole sweep as one batch, then refine in k order.
+	evens := make([]tam.Partition, 0, kmax)
 	for k := 1; k <= kmax; k++ {
 		part, err := tam.Even(wtam, k)
 		if err != nil {
 			return nil, err
 		}
-		cur, err := schedule(part)
-		if err != nil {
-			return nil, fmt.Errorf("core: scheduling %d buses: %w", k, err)
+		evens = append(evens, part)
+	}
+	for k, mk := range sctx.evalBatch(evens) {
+		if mk <= 0 {
+			// Recover the scheduler's error for the message.
+			_, err := sctx.schedule(evens[k])
+			return nil, fmt.Errorf("core: scheduling %d buses: %w", k+1, err)
 		}
-		consider(part, cur)
+		consider(evens[k], mk)
 	}
 	if opts.MergeSearch {
-		part, cur, err := mergeSearch(wtam, kmax, schedule)
+		part, mk, err := sctx.mergeSearch(wtam, kmax)
 		if err != nil {
 			return nil, err
 		}
-		consider(part, cur)
+		consider(part, mk)
+	}
+	// Materialize the winning schedule (the search compares makespans
+	// only); by construction it reproduces bestMk.
+	bestSched, err := sctx.schedule(bestPart)
+	if err != nil {
+		return nil, err
 	}
 	cpuSeconds := time.Since(searchStart).Seconds()
 
@@ -285,27 +305,231 @@ func buildSelectors(s *soc.SOC, tabOpts TableOptions, opts Options) ([]selector,
 	return selectors, nil
 }
 
+// searchCtx carries the architecture search's shared state: the dense
+// duration matrix, the search-wide makespan memo, and the worker pool
+// configuration. One context spans the whole search of an Optimize call
+// — the k-loop, every refine, and the merge pass share the memo, so a
+// partition scheduled by one phase is never re-scheduled by another.
+type searchCtx struct {
+	nCores  int
+	wtam    int
+	durMat  []int64 // dur[core*(wtam+1)+width], widths 1..wtam
+	naive   bool
+	workers int
+	// memo maps Partition.Key() (the canonical width multiset — the
+	// greedy makespan is invariant under bus reordering) to the
+	// schedule's makespan; infeasible partitions memoize as -1.
+	memo map[string]int64
+	// durFn is sc.dur bound once, so the hot loops don't allocate a
+	// method value per schedule evaluation.
+	durFn sched.Duration
+	// planner is the calling goroutine's scratch; batch workers get
+	// their own.
+	planner sched.Planner
+}
+
+// newSearchCtx precomputes the dense duration matrix: one flat int64
+// per (core, width) pair, replacing the selector->chooseConfig->table
+// closure chain in the scheduler's inner loop with an array load.
+func newSearchCtx(s *soc.SOC, wtam int, selectors []selector, opts Options) *searchCtx {
+	sc := &searchCtx{
+		nCores:  len(s.Cores),
+		wtam:    wtam,
+		durMat:  make([]int64, len(s.Cores)*(wtam+1)),
+		naive:   opts.NaiveOrder,
+		workers: opts.Workers,
+		memo:    make(map[string]int64),
+	}
+	for c := range s.Cores {
+		row := sc.durMat[c*(wtam+1) : (c+1)*(wtam+1)]
+		for w := 1; w <= wtam; w++ {
+			if cfg := selectors[c](w); cfg.Feasible {
+				row[w] = cfg.Time
+			}
+		}
+	}
+	sc.durFn = sc.dur
+	return sc
+}
+
+// dur is the scheduler's duration callback over the dense matrix.
+// Partition widths never exceed W_TAM, but clamp defensively to match
+// chooseConfig's behavior.
+func (sc *searchCtx) dur(core, width int) int64 {
+	if width < 1 {
+		return 0
+	}
+	if width > sc.wtam {
+		width = sc.wtam
+	}
+	return sc.durMat[core*(sc.wtam+1)+width]
+}
+
+// schedule materializes the full schedule for a partition — used only
+// for the search winner; the search itself runs on makespans.
+func (sc *searchCtx) schedule(p tam.Partition) (*sched.Schedule, error) {
+	if sc.naive {
+		return sc.planner.InOrder(sc.nCores, p, sc.durFn)
+	}
+	return sc.planner.Greedy(sc.nCores, p, sc.durFn)
+}
+
+// makespan evaluates one partition on the given planner: the schedule's
+// makespan, or -1 when some core is infeasible on every bus.
+func (sc *searchCtx) makespan(p tam.Partition, pl *sched.Planner) int64 {
+	var mk int64
+	var err error
+	if sc.naive {
+		mk, err = pl.InOrderMakespan(sc.nCores, p, sc.durFn)
+	} else {
+		mk, err = pl.GreedyMakespan(sc.nCores, p, sc.durFn)
+	}
+	if err != nil {
+		return -1
+	}
+	return mk
+}
+
+// evalBatch returns the makespan of every candidate partition (aligned
+// with cands; -1 marks infeasible), serving repeats from the memo and
+// fanning the misses out over the worker pool. Each miss is a pure
+// function of its partition and is written to an indexed slot, so the
+// result — and every search decision derived from it — is bit-identical
+// for any Workers setting.
+func (sc *searchCtx) evalBatch(cands []tam.Partition) []int64 {
+	return sc.evalBatchKeys(cands, nil)
+}
+
+// evalBatchKeys is evalBatch with the candidates' canonical keys
+// precomputed (callers that already derived them for dedup pass them
+// through instead of re-canonicalizing).
+func (sc *searchCtx) evalBatchKeys(cands []tam.Partition, keys []string) []int64 {
+	out := make([]int64, len(cands))
+	if keys == nil {
+		keys = make([]string, len(cands))
+		for i, p := range cands {
+			keys[i] = p.Key()
+		}
+	}
+	var misses []int
+	inBatch := make(map[string]bool, len(cands))
+	for i := range cands {
+		if _, ok := sc.memo[keys[i]]; ok {
+			continue
+		}
+		if !inBatch[keys[i]] {
+			inBatch[keys[i]] = true
+			misses = append(misses, i)
+		}
+	}
+
+	workers := resolveWorkers(sc.workers, len(misses))
+	if workers <= 1 {
+		for _, i := range misses {
+			out[i] = sc.makespan(cands[i], &sc.planner)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var pl sched.Planner
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(misses) {
+						return
+					}
+					i := misses[n]
+					out[i] = sc.makespan(cands[i], &pl)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, i := range misses {
+		sc.memo[keys[i]] = out[i]
+	}
+	for i := range cands {
+		out[i] = sc.memo[keys[i]]
+	}
+	return out
+}
+
+// refine hill-climbs over single-wire moves between buses, taking the
+// best improving neighbor each round (partitions deduplicated by
+// canonical key). Each round's neighborhood is evaluated as one batch;
+// the reduction scans in the sequential (from, to) order, so the chosen
+// neighbor matches the sequential search exactly.
+func (sc *searchCtx) refine(part tam.Partition, mk int64, maxIter int) (tam.Partition, int64) {
+	seen := map[string]bool{part.Key(): true}
+	var cands []tam.Partition
+	var keys []string
+	for iter := 0; iter < maxIter; iter++ {
+		cands, keys = cands[:0], keys[:0]
+		for from := range part {
+			for to := range part {
+				if from == to {
+					continue
+				}
+				q, err := part.MoveWire(from, to)
+				if err != nil {
+					continue
+				}
+				key := q.Key()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cands = append(cands, q)
+				keys = append(keys, key)
+			}
+		}
+		if len(cands) == 0 {
+			return part, mk
+		}
+		mks := sc.evalBatchKeys(cands, keys)
+		best := -1
+		for i := range cands {
+			if mks[i] <= 0 {
+				continue // infeasible neighbor
+			}
+			if best < 0 || mks[i] < mks[best] {
+				best = i
+			}
+		}
+		if best < 0 || mks[best] >= mk {
+			return part, mk
+		}
+		part, mk = cands[best], mks[best]
+	}
+	return part, mk
+}
+
 // mergeSearch runs the bottom-up pass: start from kmax unit-ish buses
 // and repeatedly merge the pair of buses whose union shortens the
 // schedule most (or hurts it least), keeping the best partition seen.
-func mergeSearch(wtam, kmax int,
-	schedule func(tam.Partition) (*sched.Schedule, error)) (tam.Partition, *sched.Schedule, error) {
+// Each round's merge candidates are evaluated as one batch.
+func (sc *searchCtx) mergeSearch(wtam, kmax int) (tam.Partition, int64, error) {
 	part, err := tam.Even(wtam, kmax)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
-	cur, err := schedule(part)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: merge search seed: %w", err)
+	mk := sc.evalBatch([]tam.Partition{part})[0]
+	if mk <= 0 {
+		_, err := sc.schedule(part)
+		return nil, 0, fmt.Errorf("core: merge search seed: %w", err)
 	}
-	bestPart, bestSched := part, cur
+	bestPart, bestMk := part, mk
+	var cands []tam.Partition
 	for len(part) > 1 {
-		var nextPart tam.Partition
-		var nextSched *sched.Schedule
 		// Widths matter, positions do not: merging bus i into bus j is
 		// characterized by the merged width, so only distinct pairs of
 		// widths need scheduling.
 		tried := map[[2]int]bool{}
+		cands = cands[:0]
 		for i := 0; i < len(part); i++ {
 			for j := i + 1; j < len(part); j++ {
 				key := [2]int{part[i], part[j]}
@@ -321,64 +545,28 @@ func mergeSearch(wtam, kmax int,
 				merged = append(merged, part[i+1:j]...)
 				merged = append(merged, part[j+1:]...)
 				merged = append(merged, part[i]+part[j])
-				sc, err := schedule(merged)
-				if err != nil {
-					continue
-				}
-				if nextSched == nil || sc.Makespan < nextSched.Makespan {
-					nextPart, nextSched = merged, sc
-				}
+				cands = append(cands, merged)
 			}
 		}
-		if nextSched == nil {
+		mks := sc.evalBatch(cands)
+		next := -1
+		for i := range cands {
+			if mks[i] <= 0 {
+				continue
+			}
+			if next < 0 || mks[i] < mks[next] {
+				next = i
+			}
+		}
+		if next < 0 {
 			break
 		}
-		part, cur = nextPart, nextSched
-		if cur.Makespan < bestSched.Makespan {
-			bestPart, bestSched = part, cur
+		part, mk = cands[next], mks[next]
+		if mk < bestMk {
+			bestPart, bestMk = part, mk
 		}
 	}
-	return bestPart, bestSched, nil
-}
-
-// refine hill-climbs over single-wire moves between buses, taking the
-// best improving neighbor each round (partitions deduplicated by
-// canonical key).
-func refine(part tam.Partition, cur *sched.Schedule,
-	schedule func(tam.Partition) (*sched.Schedule, error), maxIter int) (tam.Partition, *sched.Schedule) {
-	seen := map[string]bool{part.Key(): true}
-	for iter := 0; iter < maxIter; iter++ {
-		var bestPart tam.Partition
-		var bestSched *sched.Schedule
-		for from := range part {
-			for to := range part {
-				if from == to {
-					continue
-				}
-				q, err := part.MoveWire(from, to)
-				if err != nil {
-					continue
-				}
-				key := q.Key()
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				sc, err := schedule(q)
-				if err != nil {
-					continue
-				}
-				if bestSched == nil || sc.Makespan < bestSched.Makespan {
-					bestPart, bestSched = q, sc
-				}
-			}
-		}
-		if bestSched == nil || bestSched.Makespan >= cur.Makespan {
-			return part, cur
-		}
-		part, cur = bestPart, bestSched
-	}
-	return part, cur
+	return bestPart, bestMk, nil
 }
 
 // selector resolves the configuration one core uses on a bus of a given
@@ -400,17 +588,6 @@ func (ts *TechSelection) selector() selector {
 			width = len(ts.PerWidth) - 1
 		}
 		return ts.PerWidth[width]
-	}
-}
-
-// durationFn builds the scheduler's duration callback.
-func durationFn(selectors []selector) sched.Duration {
-	return func(c, width int) int64 {
-		cfg := selectors[c](width)
-		if !cfg.Feasible {
-			return 0
-		}
-		return cfg.Time
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"soctap/internal/soc"
@@ -295,5 +296,45 @@ func TestOptimizeMergeSearchNeverWorse(t *testing.T) {
 	}
 	if merged.Partition.TotalWidth() > 19 {
 		t.Errorf("merge search partition %v over budget", merged.Partition)
+	}
+}
+
+// TestOptimizeSearchWorkersDeterminism asserts the parallel architecture
+// search is bit-identical to the sequential one on d695: every
+// search-relevant Result field matches for any Workers setting.
+func TestOptimizeSearchWorkersDeterminism(t *testing.T) {
+	s := soc.D695()
+	var cache Cache
+	base := Options{
+		Style:  StyleTDCPerCore,
+		Tables: TableOptions{MaxWidth: 32},
+		Cache:  &cache, MergeSearch: true,
+	}
+	run := func(workers int) *Result {
+		t.Helper()
+		opts := base
+		opts.Workers = workers
+		res, err := Optimize(s, 32, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 8} {
+		par := run(workers)
+		if !reflect.DeepEqual(par.Partition, seq.Partition) {
+			t.Errorf("Workers=%d: partition %v differs from %v", workers, par.Partition, seq.Partition)
+		}
+		if !reflect.DeepEqual(par.Schedule, seq.Schedule) {
+			t.Errorf("Workers=%d: schedule differs", workers)
+		}
+		if !reflect.DeepEqual(par.Choices, seq.Choices) {
+			t.Errorf("Workers=%d: choices differ", workers)
+		}
+		if par.TestTime != seq.TestTime || par.Volume != seq.Volume {
+			t.Errorf("Workers=%d: time/volume %d/%d differ from %d/%d",
+				workers, par.TestTime, par.Volume, seq.TestTime, seq.Volume)
+		}
 	}
 }

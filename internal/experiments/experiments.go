@@ -32,6 +32,13 @@ var engineWorkers int
 // here.
 func SetWorkers(n int) { engineWorkers = n }
 
+// SetTableCacheDir layers a persistent on-disk store under the shared
+// table cache: tables built by any experiment are written there and
+// reloaded on later runs, so a warm directory reduces the regeneration
+// time of every table to its search time. cmd/repro wires its
+// -table-cache flag here.
+func SetTableCacheDir(dir string) { sharedCache.SetDir(dir) }
+
 // tableWidth is the lookup-table width used across experiments: wide
 // enough for every W_TAM the paper sweeps.
 const tableWidth = 64

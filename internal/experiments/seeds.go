@@ -39,10 +39,12 @@ func Seeds() (*SeedsResult, error) {
 		for _, c := range base.Cores {
 			c.Seed += off * 7919 // distinct prime stride per variant
 		}
-		// Fresh tables: seeds change the cubes, so no shared cache.
+		// The cache keys tables by core content, and the shifted Seed is
+		// part of the key — each variant gets its own entries.
 		noTDC, err := core.Optimize(base, 32, core.Options{
 			Style:   core.StyleNoTDC,
 			Tables:  core.TableOptions{MaxWidth: 32},
+			Cache:   &sharedCache,
 			Workers: engineWorkers,
 		})
 		if err != nil {
@@ -51,6 +53,7 @@ func Seeds() (*SeedsResult, error) {
 		tdc, err := core.Optimize(base, 32, core.Options{
 			Style:   core.StyleTDCPerCore,
 			Tables:  core.TableOptions{MaxWidth: 32},
+			Cache:   &sharedCache,
 			Workers: engineWorkers,
 		})
 		if err != nil {

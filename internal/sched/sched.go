@@ -9,6 +9,7 @@ package sched
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -94,36 +95,81 @@ func (s *Schedule) Validate() error {
 // resulting finish time, breaking ties toward the wider bus. Returns an
 // error if some core is infeasible on every bus.
 func Greedy(nCores int, widths []int, dur Duration) (*Schedule, error) {
-	order, err := longestFirstOrder(nCores, widths, dur)
-	if err != nil {
-		return nil, err
-	}
-	return placeInOrder(order, widths, dur)
+	return new(Planner).Greedy(nCores, widths, dur)
 }
 
 // InOrder builds a schedule placing cores in index order on the bus that
 // minimizes the resulting finish time. It is the ablation baseline for
 // the longest-first sort.
 func InOrder(nCores int, widths []int, dur Duration) (*Schedule, error) {
-	order := make([]int, nCores)
-	for i := range order {
-		order[i] = i
-	}
+	return new(Planner).InOrder(nCores, widths, dur)
+}
+
+// Planner runs the greedy placement with reusable scratch: the per-bus
+// free-time array and the ordering buffers are kept across calls, so a
+// search that schedules thousands of candidate partitions does not
+// allocate per candidate. The zero value is ready to use. A Planner is
+// not safe for concurrent use; parallel searches give each worker its
+// own.
+type Planner struct {
+	busTimes []int64 // per-bus finish-time scratch
+	cts      []coreTime
+	order    []int
+}
+
+type coreTime struct {
+	core int
+	time int64
+}
+
+// Greedy is the paper's longest-first heuristic (see the package-level
+// Greedy), reusing the planner's scratch for ordering.
+func (p *Planner) Greedy(nCores int, widths []int, dur Duration) (*Schedule, error) {
+	order := p.longestFirstOrder(nCores, widths, dur)
 	return placeInOrder(order, widths, dur)
 }
 
-func longestFirstOrder(nCores int, widths []int, dur Duration) ([]int, error) {
+// InOrder places cores in index order (see the package-level InOrder).
+func (p *Planner) InOrder(nCores int, widths []int, dur Duration) (*Schedule, error) {
+	return placeInOrder(p.indexOrder(nCores), widths, dur)
+}
+
+// GreedyMakespan returns the makespan Greedy would produce without
+// materializing the schedule — the architecture search's inner loop,
+// which only compares makespans. It allocates nothing once the planner's
+// scratch is warm.
+func (p *Planner) GreedyMakespan(nCores int, widths []int, dur Duration) (int64, error) {
+	order := p.longestFirstOrder(nCores, widths, dur)
+	return p.placeMakespan(order, widths, dur)
+}
+
+// InOrderMakespan is GreedyMakespan for declaration-order placement.
+func (p *Planner) InOrderMakespan(nCores int, widths []int, dur Duration) (int64, error) {
+	return p.placeMakespan(p.indexOrder(nCores), widths, dur)
+}
+
+func (p *Planner) indexOrder(nCores int) []int {
+	if cap(p.order) < nCores {
+		p.order = make([]int, nCores)
+	}
+	p.order = p.order[:nCores]
+	for i := range p.order {
+		p.order[i] = i
+	}
+	return p.order
+}
+
+func (p *Planner) longestFirstOrder(nCores int, widths []int, dur Duration) []int {
 	widest := 0
 	for _, w := range widths {
 		if w > widest {
 			widest = w
 		}
 	}
-	type ct struct {
-		core int
-		time int64
+	if cap(p.cts) < nCores {
+		p.cts = make([]coreTime, nCores)
 	}
-	cts := make([]ct, nCores)
+	cts := p.cts[:nCores]
 	for c := 0; c < nCores; c++ {
 		d := dur(c, widest)
 		if d <= 0 {
@@ -134,19 +180,63 @@ func longestFirstOrder(nCores int, widths []int, dur Duration) ([]int, error) {
 				}
 			}
 		}
-		cts[c] = ct{core: c, time: d}
+		cts[c] = coreTime{core: c, time: d}
 	}
-	sort.Slice(cts, func(i, j int) bool {
-		if cts[i].time != cts[j].time {
-			return cts[i].time > cts[j].time
+	// The comparator is a total order (core index breaks ties), so the
+	// result does not depend on sort stability.
+	slices.SortFunc(cts, func(a, b coreTime) int {
+		if a.time != b.time {
+			if a.time > b.time {
+				return -1
+			}
+			return 1
 		}
-		return cts[i].core < cts[j].core
+		return a.core - b.core
 	})
-	order := make([]int, nCores)
-	for i, x := range cts {
-		order[i] = x.core
+	if cap(p.order) < nCores {
+		p.order = make([]int, nCores)
 	}
-	return order, nil
+	p.order = p.order[:nCores]
+	for i, x := range cts {
+		p.order[i] = x.core
+	}
+	return p.order
+}
+
+// placeMakespan runs the placement loop of placeInOrder tracking only
+// per-bus finish times, in the planner's scratch.
+func (p *Planner) placeMakespan(order []int, widths []int, dur Duration) (int64, error) {
+	if cap(p.busTimes) < len(widths) {
+		p.busTimes = make([]int64, len(widths))
+	}
+	bt := p.busTimes[:len(widths)]
+	for i := range bt {
+		bt[i] = 0
+	}
+	var makespan int64
+	for _, c := range order {
+		bestBus := -1
+		var bestFinish int64
+		for b, w := range widths {
+			d := dur(c, w)
+			if d <= 0 {
+				continue
+			}
+			finish := bt[b] + d
+			if bestBus < 0 || finish < bestFinish ||
+				(finish == bestFinish && widths[b] > widths[bestBus]) {
+				bestBus, bestFinish = b, finish
+			}
+		}
+		if bestBus < 0 {
+			return 0, fmt.Errorf("sched: core %d infeasible on every bus", c)
+		}
+		bt[bestBus] = bestFinish
+		if bestFinish > makespan {
+			makespan = bestFinish
+		}
+	}
+	return makespan, nil
 }
 
 func placeInOrder(order []int, widths []int, dur Duration) (*Schedule, error) {
@@ -195,10 +285,7 @@ func GreedyPower(nCores int, widths []int, dur Duration, power []int, maxPower i
 			return nil, fmt.Errorf("sched: core %d power %d exceeds ceiling %d", c, p, maxPower)
 		}
 	}
-	order, err := longestFirstOrder(nCores, widths, dur)
-	if err != nil {
-		return nil, err
-	}
+	order := new(Planner).longestFirstOrder(nCores, widths, dur)
 	s := &Schedule{
 		Widths:   append([]int(nil), widths...),
 		BusTimes: make([]int64, len(widths)),

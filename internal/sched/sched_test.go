@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -244,6 +245,90 @@ func TestQuickSchedules(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
 	}
+}
+
+// Property: the Planner methods are drop-in equivalents of the package
+// functions — same schedules item for item, and the makespan-only paths
+// agree with the full ones — across random instances and with the same
+// Planner reused (scratch reuse must not leak state between calls).
+func TestPlannerMatchesPackageFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var pl Planner
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(12) + 1
+		base := make([]int64, n)
+		for i := range base {
+			base[i] = int64(rng.Intn(3000) + 1)
+		}
+		k := rng.Intn(5) + 1
+		widths := make([]int, k)
+		for i := range widths {
+			widths[i] = rng.Intn(8) + 1
+		}
+		dur := tableDur(base)
+
+		g, gerr := Greedy(n, widths, dur)
+		pg, pgerr := pl.Greedy(n, widths, dur)
+		if (gerr == nil) != (pgerr == nil) {
+			t.Fatalf("trial %d: Greedy err %v vs Planner err %v", trial, gerr, pgerr)
+		}
+		if gerr == nil && !reflect.DeepEqual(g, pg) {
+			t.Fatalf("trial %d: Planner.Greedy diverged", trial)
+		}
+		mk, mkerr := pl.GreedyMakespan(n, widths, dur)
+		if (gerr == nil) != (mkerr == nil) {
+			t.Fatalf("trial %d: GreedyMakespan err %v vs %v", trial, mkerr, gerr)
+		}
+		if gerr == nil && mk != g.Makespan {
+			t.Fatalf("trial %d: GreedyMakespan = %d, schedule says %d", trial, mk, g.Makespan)
+		}
+
+		o, oerr := InOrder(n, widths, dur)
+		po, poerr := pl.InOrder(n, widths, dur)
+		if (oerr == nil) != (poerr == nil) {
+			t.Fatalf("trial %d: InOrder err %v vs Planner err %v", trial, oerr, poerr)
+		}
+		if oerr == nil && !reflect.DeepEqual(o, po) {
+			t.Fatalf("trial %d: Planner.InOrder diverged", trial)
+		}
+		omk, omkerr := pl.InOrderMakespan(n, widths, dur)
+		if (oerr == nil) != (omkerr == nil) {
+			t.Fatalf("trial %d: InOrderMakespan err %v vs %v", trial, omkerr, oerr)
+		}
+		if oerr == nil && omk != o.Makespan {
+			t.Fatalf("trial %d: InOrderMakespan = %d, schedule says %d", trial, omk, o.Makespan)
+		}
+	}
+}
+
+// BenchmarkGreedySchedule measures one warm Planner scheduling call — the
+// architecture search's innermost operation. The makespan-only variant
+// must be allocation-free once the scratch is warm.
+func BenchmarkGreedySchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	base := make([]int64, 50)
+	for i := range base {
+		base[i] = int64(rng.Intn(100000) + 100)
+	}
+	widths := []int{12, 10, 9}
+	dur := tableDur(base)
+	var pl Planner
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Greedy(50, widths, dur); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("makespan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.GreedyMakespan(50, widths, dur); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkGreedy50Cores(b *testing.B) {

@@ -91,10 +91,29 @@ func (p Partition) Canonical() Partition {
 	return c
 }
 
-// Key returns a comparable string form of the canonical partition.
+// Key returns a comparable string form of the canonical partition. It
+// is the architecture search's memoization key, so it avoids Canonical's
+// clone and the interface-based sort: partitions are short (one entry
+// per bus), and an insertion sort over a stack buffer is both
+// allocation-free and order-deterministic.
 func (p Partition) Key() string {
-	c := p.Canonical()
-	b := make([]byte, 0, len(c)*3)
+	var cbuf [32]int
+	c := cbuf[:0]
+	if len(p) > len(cbuf) {
+		c = make([]int, 0, len(p))
+	}
+	c = append(c, p...)
+	for i := 1; i < len(c); i++ {
+		v := c[i]
+		j := i - 1
+		for j >= 0 && c[j] < v {
+			c[j+1] = c[j]
+			j--
+		}
+		c[j+1] = v
+	}
+	var bbuf [96]byte
+	b := bbuf[:0]
 	for i, w := range c {
 		if i > 0 {
 			b = append(b, ',')
