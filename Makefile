@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead
 
 # check is the tier-1 gate: everything must pass before a change lands.
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke telemetry-overhead
 
 vet:
 	$(GO) vet ./...
@@ -37,3 +37,21 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTDCCostKernel|BenchmarkBuildTableSerial|BenchmarkBuildTableParallel' -benchtime 1x ./internal/core
 	$(GO) test -run '^$$' -bench 'BenchmarkGreedySchedule|BenchmarkGreedy50Cores' -benchtime 1x ./internal/sched
 	$(GO) test -run '^$$' -bench 'BenchmarkOptimizeSearch' -benchtime 1x .
+
+# bench-json archives the four headline benchmarks as a dated,
+# machine-readable report (BENCH_<yyyy-mm-dd>.json): per-op time plus
+# alloc stats and any custom metrics, parsed by cmd/benchjson.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkFig2CktSweep$$|BenchmarkTab3WithWithoutTDC$$|BenchmarkOptimizeSearch$$' -benchtime 1x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGreedySchedule$$' -benchtime 1x -benchmem ./internal/sched ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
+	@echo wrote BENCH_$$(date +%Y-%m-%d).json
+
+# telemetry-overhead asserts the zero-overhead-when-disabled contract:
+# the instrumented-but-disabled kernel and makespan paths must run at 0
+# allocs/op (test-enforced), the disabled-path benchmark must still
+# compile and run, and the telemetry package itself must be vet-clean.
+telemetry-overhead:
+	$(GO) vet ./internal/telemetry
+	$(GO) test -run 'TestKernelDisabledTelemetryZeroAlloc|TestMakespanDisabledTelemetryZeroAlloc|TestNilFastPathAllocs' -count=1 ./internal/core ./internal/telemetry
+	$(GO) test -run '^$$' -bench 'BenchmarkTDCCostKernelDisabled|BenchmarkTDCCostKernelTelemetry' -benchtime 1x -benchmem ./internal/core

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkTDCCostKernel-8   \t 2977206\t       399.1 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkTDCCostKernel" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", b.Name)
+	}
+	if b.Iterations != 2977206 || b.NsPerOp != 399.1 || b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("parsed %+v", b)
+	}
+
+	// Custom ReportMetric units land in Metrics.
+	b, ok = parseLine("BenchmarkTab3WithWithoutTDC-8   1  123456789 ns/op  42.5 cycles-ratio")
+	if !ok {
+		t.Fatal("metric line not parsed")
+	}
+	if b.Metrics["cycles-ratio"] != 42.5 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"BenchmarkBroken-8 notanumber 1 ns/op",
+		"BenchmarkShort-8 5",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("parseLine(%q) accepted, want skip", bad)
+		}
+	}
+}

@@ -5,11 +5,22 @@
 // Usage:
 //
 //	repro [-o output.txt] [-workers N] {fig2|fig3|fig4|tab1|tab2|tab3|all}
+//	repro tab3 -telemetry t.json -table-cache .tables
+//	repro all -cpuprofile cpu.out -quiet
+//
+// Flags may also follow the experiment name (the usual
+// "verb then options" CLI shape); they are re-parsed after the verb.
 //
 // Expect `all` to take a few minutes on one CPU: the industrial-core
 // lookup tables dominate, and are shared across experiments. The (w, m)
 // evaluations fan out over one worker per CPU by default; -workers
 // bounds the pool (results are bit-identical for every setting).
+//
+// Unless -quiet is given, per-phase progress lines go to stderr as each
+// artifact, optimizer phase, and per-core table build completes.
+// -telemetry writes the full machine-readable run report (phase spans,
+// subsystem counters, worker timings) as deterministic JSON;
+// -telemetry-text renders the same snapshot as tables on stderr.
 package main
 
 import (
@@ -17,26 +28,75 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"soctap/internal/experiments"
+	"soctap/internal/telemetry"
 )
 
 func main() {
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	workers := flag.Int("workers", 0, "evaluation-engine worker goroutines (0 = one per CPU, 1 = sequential; results are identical)")
 	tableCache := flag.String("table-cache", "", "directory for the persistent lookup-table cache (reused across runs)")
+	telemetryOut := flag.String("telemetry", "", "write the telemetry snapshot (phase spans + counters) as JSON to this file ('-' for stdout)")
+	telemetryText := flag.Bool("telemetry-text", false, "render the telemetry snapshot as text on stderr after the run")
+	quiet := flag.Bool("quiet", false, "suppress per-phase progress lines on stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repro [-o file] {fig2|fig3|fig4|tab1|tab2|tab3|ablations|techsel|seeds|verify|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: repro [flags] {fig2|fig3|fig4|tab1|tab2|tab3|ablations|techsel|seeds|verify|all} [flags]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Accept flags after the experiment name too: take the verb, then
+	// re-parse the remainder (flag parsing stops at the first
+	// positional argument).
+	name := flag.Arg(0)
+	if flag.NArg() > 1 {
+		if err := flag.CommandLine.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
+		if flag.NArg() != 0 {
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
 	experiments.SetWorkers(*workers)
 	if *tableCache != "" {
 		experiments.SetTableCacheDir(*tableCache)
+	}
+
+	stopProfiles, err := telemetry.StartProfiles(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+
+	// The sink is on whenever any consumer wants it: progress lines
+	// (default), the JSON report, or the text report. A fully quiet run
+	// with no report keeps it nil — instrumentation then costs nothing.
+	var sink *telemetry.Sink
+	if *telemetryOut != "" || *telemetryText || !*quiet {
+		sink = telemetry.New()
+		experiments.SetTelemetry(sink)
+	}
+	if sink != nil && !*quiet {
+		start := time.Now()
+		sink.SetSpanHook(func(path string, d time.Duration) {
+			// Per-artifact and per-phase lines plus per-core table
+			// builds; deeper search internals (refine/k-sweep cycles)
+			// stay out of the progress stream.
+			last := path[strings.LastIndexByte(path, '/')+1:]
+			if strings.Count(path, "/") <= 1 || strings.HasPrefix(last, "core:") {
+				fmt.Fprintf(os.Stderr, "repro: [%7.1fs] %-44s %8.3fs\n",
+					time.Since(start).Seconds(), path, d.Seconds())
+			}
+		})
 	}
 
 	var w io.Writer = os.Stdout
@@ -49,19 +109,50 @@ func main() {
 		w = f
 	}
 
-	name := flag.Arg(0)
-	if name == "all" {
-		for _, n := range []string{"fig2", "fig3", "fig4", "tab1", "tab2", "tab3", "ablations", "techsel", "seeds", "verify"} {
-			if err := run(w, n); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintln(w)
-		}
-		return
+	err = runExperiments(w, name)
+	if perr := stopProfiles(); err == nil {
+		err = perr
 	}
-	if err := run(w, name); err != nil {
+	if err != nil {
 		fatal(err)
 	}
+
+	if sink != nil {
+		sn := sink.Snapshot()
+		if *telemetryOut != "" {
+			tw := os.Stdout
+			if *telemetryOut != "-" {
+				f, err := os.Create(*telemetryOut)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				tw = f
+			}
+			if err := sn.WriteJSON(tw); err != nil {
+				fatal(err)
+			}
+		}
+		if *telemetryText {
+			if err := sn.Render(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+// runExperiments runs one named experiment, or all of them in sequence.
+func runExperiments(w io.Writer, name string) error {
+	if name != "all" {
+		return run(w, name)
+	}
+	for _, n := range []string{"fig2", "fig3", "fig4", "tab1", "tab2", "tab3", "ablations", "techsel", "seeds", "verify"} {
+		if err := run(w, n); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
 }
 
 func fatal(err error) {

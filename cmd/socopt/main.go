@@ -22,6 +22,7 @@ import (
 	"soctap/internal/report"
 	"soctap/internal/sim"
 	"soctap/internal/soc"
+	"soctap/internal/telemetry"
 )
 
 func main() {
@@ -38,13 +39,30 @@ func main() {
 	techsel := flag.Bool("techsel", false, "extend per-core choices with dictionary coding (technique selection)")
 	tableCache := flag.String("table-cache", "", "directory for the persistent lookup-table cache (reused across runs)")
 	jsonOut := flag.String("json", "", "also write the plan as JSON to this file ('-' for stdout)")
+	telemetryOut := flag.String("telemetry", "", "write the telemetry snapshot (phase spans + counters) as JSON to this file ('-' for stdout)")
+	telemetryText := flag.Bool("telemetry-text", false, "render the telemetry snapshot as text on stderr after the run")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
+	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 
 	if *design == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	stopProfiles, err := telemetry.StartProfiles(*cpuProfile, *memProfile, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	var sink *telemetry.Sink
+	if *telemetryOut != "" || *telemetryText {
+		sink = telemetry.New()
+	}
+
+	pt := sink.Span("parse").Begin()
 	s, err := loadDesign(*design)
+	pt.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -61,6 +79,7 @@ func main() {
 		Workers:    *workers,
 
 		TableCacheDir: *tableCache,
+		Telemetry:     sink.Root(),
 	})
 	if err != nil {
 		fatal(err)
@@ -98,10 +117,39 @@ func main() {
 
 	if *verify {
 		fmt.Print("verifying plan by cycle-accurate simulation... ")
-		if err := sim.VerifyPlan(res); err != nil {
+		vt := sink.Span("verify").Begin()
+		err := sim.VerifyPlan(res)
+		vt.End()
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Println("ok: all stimuli delivered bit-exactly, volumes match")
+	}
+
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
+	if sink != nil {
+		sn := sink.Snapshot()
+		if *telemetryOut != "" {
+			w := os.Stdout
+			if *telemetryOut != "-" {
+				f, err := os.Create(*telemetryOut)
+				if err != nil {
+					fatal(err)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := sn.WriteJSON(w); err != nil {
+				fatal(err)
+			}
+		}
+		if *telemetryText {
+			if err := sn.Render(os.Stderr); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 

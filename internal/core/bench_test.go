@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"soctap/internal/soc"
+	"soctap/internal/telemetry"
 )
 
 // benchCore is a mid-size synthetic core whose cubes are large enough
@@ -39,6 +40,42 @@ func BenchmarkTDCCostKernel(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.tdcCost(d, true)
+	}
+}
+
+// BenchmarkTDCCostKernelDisabled measures the instrumented TDC path —
+// counter Inc included — with no sink attached. Comparing it against
+// BenchmarkTDCCostKernel bounds the disabled-telemetry overhead
+// (nil-check only; 0 allocs/op is asserted by the telemetry-overhead
+// gate in `make check`).
+func BenchmarkTDCCostKernelDisabled(b *testing.B) {
+	benchmarkTDCTelemetry(b, nil)
+}
+
+// BenchmarkTDCCostKernelTelemetry is the same path with a live sink, so
+// the cost of an enabled counter (one atomic add per eval) is visible.
+func BenchmarkTDCCostKernelTelemetry(b *testing.B) {
+	benchmarkTDCTelemetry(b, telemetry.New())
+}
+
+func benchmarkTDCTelemetry(b *testing.B, sink *telemetry.Sink) {
+	c := benchCore()
+	ev, err := NewEvaluator(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev.attachTelemetry(sink)
+	d, err := ev.Design(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.StimulusMap()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.TDC(48, true); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

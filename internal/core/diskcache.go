@@ -14,14 +14,29 @@ package core
 // Readers treat every failure — missing file, truncation, garbage,
 // version or key mismatch, shape mismatch — as a cache miss: the table
 // is rebuilt and the entry rewritten, never trusted, and corruption
-// never surfaces as an error.
+// never surfaces as an error. Failures are no longer invisible, though:
+// loads distinguish an absent entry (diskMiss) from a present-but-bad
+// one (diskCorrupt), and Cache.get routes the distinction into the
+// diskcache.* telemetry counters and the optional SetWarn callback.
 
 import (
 	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"soctap/internal/soc"
+)
+
+// diskStatus classifies one disk-store probe.
+type diskStatus int
+
+const (
+	diskHit     diskStatus = iota // entry present and valid
+	diskMiss                      // entry absent
+	diskCorrupt                   // entry present but unreadable, stale or mismatched
 )
 
 // diskCacheVersion tags every entry. Bump it whenever diskEntry,
@@ -47,23 +62,33 @@ func diskPath(dir, key string) string {
 }
 
 // loadDiskTable reads the entry for key and re-attaches it to core c.
-// Any failure or mismatch reports ok=false; the caller rebuilds.
-func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (*Table, bool) {
+// On anything but a hit the caller rebuilds; the status says whether
+// the entry was absent (diskMiss) or present but bad (diskCorrupt), and
+// reason carries the corruption detail for the warning callback.
+func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (t *Table, status diskStatus, reason error) {
 	f, err := os.Open(diskPath(dir, key))
 	if err != nil {
-		return nil, false
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, diskMiss, nil
+		}
+		// Present but unopenable (permissions, I/O): a trace-worthy
+		// failure, not a plain miss.
+		return nil, diskCorrupt, err
 	}
 	defer f.Close()
 	var e diskEntry
 	if err := gob.NewDecoder(f).Decode(&e); err != nil {
-		return nil, false
+		return nil, diskCorrupt, fmt.Errorf("decoding: %w", err)
 	}
-	if e.Version != diskCacheVersion || e.Key != key || e.Opts != opts {
-		return nil, false
+	if e.Version != diskCacheVersion {
+		return nil, diskCorrupt, fmt.Errorf("stale version %q (want %q)", e.Version, diskCacheVersion)
+	}
+	if e.Key != key || e.Opts != opts {
+		return nil, diskCorrupt, fmt.Errorf("entry key/options mismatch")
 	}
 	n := opts.MaxWidth + 1
 	if len(e.NoTDC) != n || len(e.TDCExact) != n || len(e.TDCBest) != n || len(e.Best) != n {
-		return nil, false
+		return nil, diskCorrupt, fmt.Errorf("table shape mismatch")
 	}
 	return &Table{
 		Core:     c,
@@ -72,7 +97,7 @@ func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (*Table, boo
 		TDCExact: e.TDCExact,
 		TDCBest:  e.TDCBest,
 		Best:     e.Best,
-	}, true
+	}, diskHit, nil
 }
 
 // storeDiskTable writes the entry for key atomically (temp file +

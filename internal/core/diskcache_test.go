@@ -4,10 +4,12 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"soctap/internal/soc"
+	"soctap/internal/telemetry"
 )
 
 // cacheDirEntries lists the table files currently in dir.
@@ -163,6 +165,80 @@ func TestDiskCacheCorruption(t *testing.T) {
 				t.Errorf("%d builds from the rewritten entry, want 0", n)
 			}
 		})
+	}
+}
+
+// TestDiskCacheCorruptionTelemetry: a corrupted entry is no longer an
+// invisible rebuild — it increments diskcache.corrupt_rebuilds exactly
+// once and fires the warning callback, while a plain absent entry
+// counts as a miss, and a valid one as a hit.
+func TestDiskCacheCorruptionTelemetry(t *testing.T) {
+	c := compressibleCore(14)
+	opts := TableOptions{MaxWidth: 10}
+	dir := t.TempDir()
+
+	// Cold run: entry absent → one disk miss, no corruption.
+	cold := telemetry.New()
+	var warm Cache
+	warm.SetDir(dir)
+	if _, err := warm.get(c, opts, cold); err != nil {
+		t.Fatal(err)
+	}
+	cn := cold.Snapshot().Counters
+	if cn["diskcache.misses"] != 1 || cn["diskcache.corrupt_rebuilds"] != 0 {
+		t.Fatalf("cold counters: %v", cn)
+	}
+
+	// Warm run: valid entry → one hit.
+	hit := telemetry.New()
+	var second Cache
+	second.SetDir(dir)
+	if _, err := second.get(compressibleCore(14), opts, hit); err != nil {
+		t.Fatal(err)
+	}
+	hn := hit.Snapshot().Counters
+	if hn["diskcache.hits"] != 1 || hn["diskcache.corrupt_rebuilds"] != 0 {
+		t.Fatalf("warm counters: %v", hn)
+	}
+
+	// Corrupt the gob file: the rebuild must be counted exactly once
+	// and the callback must name the file.
+	files := cacheDirEntries(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("%d cache files, want 1", len(files))
+	}
+	if err := os.WriteFile(files[0], []byte("not a gob stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := telemetry.New()
+	var warnings []string
+	var third Cache
+	third.SetDir(dir)
+	third.SetWarn(func(msg string) { warnings = append(warnings, msg) })
+	if _, err := third.get(compressibleCore(14), opts, corrupt); err != nil {
+		t.Fatal(err)
+	}
+	kn := corrupt.Snapshot().Counters
+	if kn["diskcache.corrupt_rebuilds"] != 1 {
+		t.Fatalf("diskcache.corrupt_rebuilds = %d, want exactly 1 (counters: %v)",
+			kn["diskcache.corrupt_rebuilds"], kn)
+	}
+	if kn["diskcache.misses"] != 0 || kn["diskcache.hits"] != 0 {
+		t.Fatalf("corruption misclassified as hit/miss: %v", kn)
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], files[0]) {
+		t.Fatalf("warning callback: %v, want one message naming %s", warnings, files[0])
+	}
+
+	// The rewritten entry is good again: a fourth cache hits cleanly.
+	again := telemetry.New()
+	var fourth Cache
+	fourth.SetDir(dir)
+	if _, err := fourth.get(compressibleCore(14), opts, again); err != nil {
+		t.Fatal(err)
+	}
+	if an := again.Snapshot().Counters; an["diskcache.hits"] != 1 {
+		t.Fatalf("rewritten entry not hit: %v", an)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"soctap/internal/cube"
 	"soctap/internal/selenc"
 	"soctap/internal/soc"
+	"soctap/internal/telemetry"
 	"soctap/internal/wrapper"
 )
 
@@ -74,6 +75,18 @@ type Evaluator struct {
 
 	lastM int // most recently built wrapper design (0 = none)
 	lastD *wrapper.Design
+
+	// Kernel-invocation counters; nil (a no-op) unless a telemetry sink
+	// is attached. Counts are deterministic: one per evaluated config.
+	tdcEvals   *telemetry.Counter
+	noTDCEvals *telemetry.Counter
+}
+
+// attachTelemetry resolves the evaluator's kernel counters from the
+// sink; a nil sink leaves them nil, keeping the hot path free.
+func (e *Evaluator) attachTelemetry(tel *telemetry.Sink) {
+	e.tdcEvals = tel.Counter("eval.tdc_evals")
+	e.noTDCEvals = tel.Counter("eval.notdc_evals")
 }
 
 // NewEvaluator prepares an evaluator for the core, generating (and
@@ -126,6 +139,7 @@ func (e *Evaluator) NoTDC(m int) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
+	e.noTDCEvals.Inc()
 	return Config{
 		Feasible: true,
 		Width:    m,
@@ -152,6 +166,7 @@ func (e *Evaluator) TDC(m int, groupCopy bool) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
+	e.tdcEvals.Inc()
 	time, volume := e.tdcCost(d, groupCopy)
 	return Config{
 		Feasible: true,

@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"soctap/internal/selenc"
 	"soctap/internal/soc"
+	"soctap/internal/telemetry"
 )
 
 // TableOptions controls per-core lookup table construction.
@@ -69,16 +71,23 @@ func resolveWorkers(workers, tasks int) int {
 // per-worker scratch state of the hot kernel). Tasks must write results
 // to indexed slots so the outcome is independent of scheduling; with
 // workers <= 1 everything runs on the calling goroutine. The first
-// error (by task index) is returned.
-func forEachEval(c *soc.Core, workers, n int, fn func(ev *Evaluator, i int) error) error {
+// error (by task index) is returned. A non-nil tel attaches kernel
+// counters to every evaluator and accounts worker-slot busy time.
+func forEachEval(c *soc.Core, workers, n int, tel *telemetry.Sink, fn func(ev *Evaluator, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	busy := tel.Timer("eval.worker_busy")
 	workers = resolveWorkers(workers, n)
 	if workers == 1 {
 		ev, err := NewEvaluator(c)
 		if err != nil {
 			return err
+		}
+		ev.attachTelemetry(tel)
+		if busy != nil {
+			t0 := time.Now()
+			defer func() { busy.Add(time.Since(t0)) }()
 		}
 		for i := 0; i < n; i++ {
 			if err := fn(ev, i); err != nil {
@@ -98,12 +107,17 @@ func forEachEval(c *soc.Core, workers, n int, fn func(ev *Evaluator, i int) erro
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			if busy != nil {
+				t0 := time.Now()
+				defer func() { busy.Add(time.Since(t0)) }()
+			}
 			ev, err := NewEvaluator(c)
 			if err != nil {
 				initOnce.Do(func() { initErr = err })
 				failed.Store(true)
 				return
 			}
+			ev.attachTelemetry(tel)
 			for !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -154,6 +168,13 @@ type Table struct {
 // over Opts.Workers goroutines; the result is bit-identical to a
 // sequential build.
 func BuildTable(c *soc.Core, opts TableOptions) (*Table, error) {
+	return buildTable(c, opts, nil)
+}
+
+// buildTable is BuildTable with an optional telemetry sink: kernel
+// counters attach to every worker's evaluator, worker busy time is
+// accounted, and the build itself is counted.
+func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
 	opts = opts.withDefaults()
 	if opts.MaxWidth < 1 {
 		return nil, fmt.Errorf("core: MaxWidth %d", opts.MaxWidth)
@@ -211,7 +232,8 @@ func BuildTable(c *soc.Core, opts TableOptions) (*Table, error) {
 	}
 	direct := make([]Config, directM+1)
 
-	err := forEachEval(c, opts.Workers, directM+len(tdcTasks), func(ev *Evaluator, i int) error {
+	tel.Counter("tables.built").Inc()
+	err := forEachEval(c, opts.Workers, directM+len(tdcTasks), tel, func(ev *Evaluator, i int) error {
 		if i < directM {
 			cfg, err := ev.NoTDC(i + 1)
 			if err != nil {
@@ -323,7 +345,7 @@ func SweepTDCWorkers(c *soc.Core, lo, hi, workers int) ([]Config, error) {
 		return nil, err
 	}
 	out := make([]Config, hi-lo+1)
-	err := forEachEval(c, workers, len(out), func(ev *Evaluator, i int) error {
+	err := forEachEval(c, workers, len(out), nil, func(ev *Evaluator, i int) error {
 		cfg, err := ev.TDC(lo+i, true)
 		if err != nil {
 			return err
@@ -353,6 +375,7 @@ type Cache struct {
 	mu     sync.Mutex
 	tables map[string]*cacheEntry
 	dir    string // optional on-disk layer; "" = memory only
+	warn   func(msg string)
 
 	// buildHook, when non-nil, observes every table build the cache
 	// actually starts (test instrumentation; disk-cache hits do not
@@ -376,11 +399,48 @@ func (cc *Cache) SetDir(dir string) {
 	cc.mu.Unlock()
 }
 
+// SetWarn installs a callback for the disk store's otherwise-silent
+// failure modes: corrupt, stale or mismatched entries (rebuilt in
+// place) and failed write-backs. fn may be called from any goroutine
+// the cache is used on; nil disables warnings. Call it before
+// concurrent use.
+func (cc *Cache) SetWarn(fn func(msg string)) {
+	cc.mu.Lock()
+	cc.warn = fn
+	cc.mu.Unlock()
+}
+
+// warnf formats a warning through the SetWarn callback, if any.
+func (cc *Cache) warnf(format string, args ...any) {
+	cc.mu.Lock()
+	fn := cc.warn
+	cc.mu.Unlock()
+	if fn != nil {
+		fn(fmt.Sprintf(format, args...))
+	}
+}
+
 // Get returns the memoized table for (c, opts), building it on first
 // use. Concurrent calls with the same key wait for the single build in
 // flight; a build error is cached (BuildTable is deterministic, so
 // retrying cannot succeed).
 func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
+	return cc.get(c, opts, nil)
+}
+
+// GetInstrumented is Get with telemetry: cache probes and any resulting
+// build are counted into tel's cache.*/diskcache.*/eval.* registries.
+// A nil tel makes it identical to Get.
+func (cc *Cache) GetInstrumented(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
+	return cc.get(c, opts, tel)
+}
+
+// get is Get with an optional telemetry sink: memory- and disk-layer
+// probes are counted (hits, misses, corrupt rebuilds, write errors) —
+// exactly once per event, deterministically for any worker count,
+// because the singleflight entry install serializes who counts the
+// miss.
+func (cc *Cache) get(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
 	opts = opts.withDefaults()
 	key := contentKey(c, opts.normalized())
 	cc.mu.Lock()
@@ -391,27 +451,40 @@ func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
 	e, ok := cc.tables[key]
 	if ok {
 		cc.mu.Unlock()
+		tel.Counter("cache.mem_hits").Inc()
 		<-e.done
 		return e.t, e.err
 	}
 	e = &cacheEntry{done: make(chan struct{})}
 	cc.tables[key] = e
 	cc.mu.Unlock()
+	tel.Counter("cache.mem_misses").Inc()
 
 	if dir != "" {
-		if t, ok := loadDiskTable(dir, key, c, opts.normalized()); ok {
+		t, status, reason := loadDiskTable(dir, key, c, opts.normalized())
+		switch status {
+		case diskHit:
+			tel.Counter("diskcache.hits").Inc()
 			e.t = t
 			close(e.done)
 			return e.t, nil
+		case diskMiss:
+			tel.Counter("diskcache.misses").Inc()
+		case diskCorrupt:
+			tel.Counter("diskcache.corrupt_rebuilds").Inc()
+			cc.warnf("table cache: corrupt entry %s rebuilt: %v", diskPath(dir, key), reason)
 		}
 	}
 	if cc.buildHook != nil {
 		cc.buildHook(c, opts)
 	}
-	e.t, e.err = BuildTable(c, opts)
+	e.t, e.err = buildTable(c, opts, tel)
 	if e.err == nil && dir != "" {
 		// Best-effort: a failed write only costs a rebuild next run.
-		_ = storeDiskTable(dir, key, e.t)
+		if err := storeDiskTable(dir, key, e.t); err != nil {
+			tel.Counter("diskcache.write_errors").Inc()
+			cc.warnf("table cache: writing %s: %v", diskPath(dir, key), err)
+		}
 	}
 	close(e.done)
 	return e.t, e.err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"soctap/internal/sched"
 	"soctap/internal/soc"
 	"soctap/internal/tam"
+	"soctap/internal/telemetry"
 )
 
 // Style selects the test-access architecture style (Figure 4 of the
@@ -87,8 +89,19 @@ type Options struct {
 	// store under the (possibly implicit) in-memory Cache: lookup tables
 	// are content-addressed by core structure and options, loaded from
 	// disk when present, and written back after a build. Corrupt, stale
-	// or truncated entries are silently rebuilt.
+	// or truncated entries are rebuilt (observable through the telemetry
+	// counters and Cache.SetWarn).
 	TableCacheDir string
+	// Telemetry, when non-nil, is the parent span this run records
+	// under: phase spans (tables with one child per core, search with
+	// k-sweep/refine/merge children, schedule) plus the subsystem
+	// counters registered on the span's sink. Nil disables all
+	// instrumentation at zero cost.
+	Telemetry *telemetry.Span
+	// TelemetryWriter, when non-nil, receives the telemetry snapshot as
+	// deterministic JSON after a successful run. If Telemetry is nil a
+	// private sink is created for the run.
+	TelemetryWriter io.Writer
 }
 
 // CoreChoice reports the configuration chosen for one core.
@@ -163,12 +176,19 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		}
 		opts.Cache.SetDir(opts.TableCacheDir)
 	}
+	if opts.TelemetryWriter != nil && opts.Telemetry == nil {
+		opts.Telemetry = telemetry.New().Root()
+	}
+	tel := opts.Telemetry
 
 	tStart := time.Now()
-	selectors, err := buildSelectors(s, tabOpts, opts)
+	spTables := tel.Child("tables")
+	tablesTiming := spTables.Begin()
+	selectors, err := buildSelectors(s, tabOpts, opts, spTables)
 	if err != nil {
 		return nil, err
 	}
+	tablesTiming.End()
 	tableSeconds := time.Since(tStart).Seconds()
 
 	searchStart := time.Now()
@@ -182,11 +202,16 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 
 	sctx := newSearchCtx(s, wtam, selectors, opts)
 
+	spSearch := tel.Child("search")
+	spRefine := spSearch.Child("refine")
+	searchTiming := spSearch.Begin()
 	var bestPart tam.Partition
 	bestMk := int64(-1)
 	consider := func(part tam.Partition, mk int64) {
 		if !opts.DisableRefinement {
+			rt := spRefine.Begin()
 			part, mk = sctx.refine(part, mk, opts.MaxIterations)
+			rt.End()
 		}
 		if bestMk < 0 || mk < bestMk {
 			bestPart, bestMk = part, mk
@@ -202,7 +227,10 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		}
 		evens = append(evens, part)
 	}
-	for k, mk := range sctx.evalBatch(evens) {
+	kt := spSearch.Child("k-sweep").Begin()
+	evenMks := sctx.evalBatch(evens)
+	kt.End()
+	for k, mk := range evenMks {
 		if mk <= 0 {
 			// Recover the scheduler's error for the message.
 			_, err := sctx.schedule(evens[k])
@@ -211,15 +239,20 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		consider(evens[k], mk)
 	}
 	if opts.MergeSearch {
+		mt := spSearch.Child("merge").Begin()
 		part, mk, err := sctx.mergeSearch(wtam, kmax)
+		mt.End()
 		if err != nil {
 			return nil, err
 		}
 		consider(part, mk)
 	}
+	searchTiming.End()
 	// Materialize the winning schedule (the search compares makespans
 	// only); by construction it reproduces bestMk.
+	st := tel.Child("schedule").Begin()
 	bestSched, err := sctx.schedule(bestPart)
+	st.End()
 	if err != nil {
 		return nil, err
 	}
@@ -236,6 +269,11 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		CPUSeconds:   cpuSeconds,
 	}
 	fillDetails(res, selectors)
+	if opts.TelemetryWriter != nil {
+		if err := tel.Sink().Snapshot().WriteJSON(opts.TelemetryWriter); err != nil {
+			return nil, fmt.Errorf("core: writing telemetry: %w", err)
+		}
+	}
 	return res, nil
 }
 
@@ -243,16 +281,25 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 // the per-core lookup tables concurrently (bounded by opts.Workers).
 // Cache hits go through the singleflight Cache.Get, so concurrent
 // optimizer runs sharing a cache never duplicate a build. The first
-// error in core order is returned.
-func buildSelectors(s *soc.SOC, tabOpts TableOptions, opts Options) ([]selector, error) {
+// error in core order is returned. Per-core telemetry spans are created
+// under parent on the calling goroutine, in core order, before the
+// fan-out — worker scheduling therefore never changes the span tree.
+func buildSelectors(s *soc.SOC, tabOpts TableOptions, opts Options, parent *telemetry.Span) ([]selector, error) {
+	sink := parent.Sink()
+	coreSpans := make([]*telemetry.Span, len(s.Cores))
+	for i, c := range s.Cores {
+		coreSpans[i] = parent.Child("core:" + c.Name)
+	}
 	build := func(i int) (selector, error) {
+		ct := coreSpans[i].Begin()
+		defer ct.End()
 		c := s.Cores[i]
 		var t *Table
 		var err error
 		if opts.Cache != nil {
-			t, err = opts.Cache.Get(c, tabOpts)
+			t, err = opts.Cache.get(c, tabOpts, sink)
 		} else {
-			t, err = BuildTable(c, tabOpts)
+			t, err = buildTable(c, tabOpts, sink)
 		}
 		if err != nil {
 			return nil, err
@@ -326,6 +373,15 @@ type searchCtx struct {
 	// planner is the calling goroutine's scratch; batch workers get
 	// their own.
 	planner sched.Planner
+
+	// Makespan-memo accounting: hits are candidates served from the
+	// memo (including within-batch duplicates), misses are schedules
+	// actually computed. Both are deterministic for any Workers setting
+	// because batch contents are. placements is shared by every worker
+	// planner (the counter is atomic).
+	memoHits   *telemetry.Counter
+	memoMisses *telemetry.Counter
+	placements *telemetry.Counter
 }
 
 // newSearchCtx precomputes the dense duration matrix: one flat int64
@@ -349,6 +405,12 @@ func newSearchCtx(s *soc.SOC, wtam int, selectors []selector, opts Options) *sea
 		}
 	}
 	sc.durFn = sc.dur
+	if sink := opts.Telemetry.Sink(); sink != nil {
+		sc.memoHits = sink.Counter("search.memo_hits")
+		sc.memoMisses = sink.Counter("search.memo_misses")
+		sc.placements = sink.Counter("sched.placements")
+		sc.planner.Placements = sc.placements
+	}
 	return sc
 }
 
@@ -423,6 +485,9 @@ func (sc *searchCtx) evalBatchKeys(cands []tam.Partition, keys []string) []int64
 		}
 	}
 
+	sc.memoHits.Add(int64(len(cands) - len(misses)))
+	sc.memoMisses.Add(int64(len(misses)))
+
 	workers := resolveWorkers(sc.workers, len(misses))
 	if workers <= 1 {
 		for _, i := range misses {
@@ -435,7 +500,7 @@ func (sc *searchCtx) evalBatchKeys(cands []tam.Partition, keys []string) []int64
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				var pl sched.Planner
+				pl := sched.Planner{Placements: sc.placements}
 				for {
 					n := int(next.Add(1)) - 1
 					if n >= len(misses) {

@@ -28,6 +28,7 @@ type AblationResult struct {
 // suite (see DESIGN.md §5 and the benchmark harness, which reports the
 // same quantities as bench metrics).
 func Ablations() (*AblationResult, error) {
+	defer expSpan("ablations").End()
 	res := &AblationResult{}
 
 	// 1. Group-copy mode of the codec (per-core volume, ckt-9, m=255).
@@ -56,14 +57,14 @@ func Ablations() (*AblationResult, error) {
 
 	// 2. Within-band best-m exploration vs band maximum.
 	full, err := core.Optimize(sys1, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 48},
 	})
 	if err != nil {
 		return nil, err
 	}
 	bandMax, err := core.Optimize(sys1, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 1},
 	})
 	if err != nil {
@@ -77,14 +78,14 @@ func Ablations() (*AblationResult, error) {
 
 	// 3. TAM-partition refinement vs even splits (prime budget).
 	refined, err := core.Optimize(sys1, 37, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 37},
 	})
 	if err != nil {
 		return nil, err
 	}
 	even, err := core.Optimize(sys1, 37, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 37}, DisableRefinement: true,
 	})
 	if err != nil {
@@ -102,14 +103,14 @@ func Ablations() (*AblationResult, error) {
 		return nil, err
 	}
 	lpt, err := core.Optimize(sys2, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: tableWidth},
 	})
 	if err != nil {
 		return nil, err
 	}
 	naive, err := core.Optimize(sys2, 32, core.Options{
-		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: tableWidth}, NaiveOrder: true,
 	})
 	if err != nil {
@@ -145,6 +146,7 @@ type VerifyResult struct {
 // every core's chosen configuration through the bit-level simulator —
 // the repository's end-to-end trust check.
 func Verify() (*VerifyResult, error) {
+	defer expSpan("verify").End()
 	out := &VerifyResult{}
 	for _, name := range []string{"d695", "System1"} {
 		s, ok := soc.AllBenchmarks()[name]
@@ -152,7 +154,7 @@ func Verify() (*VerifyResult, error) {
 			return nil, fmt.Errorf("unknown design %s", name)
 		}
 		res, err := core.Optimize(s, 32, core.Options{
-			Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+			Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
 		})
 		if err != nil {

@@ -12,6 +12,7 @@ package experiments
 
 import (
 	"soctap/internal/core"
+	"soctap/internal/telemetry"
 )
 
 // sharedCache is used by default so that consecutive experiments (and
@@ -38,6 +39,29 @@ func SetWorkers(n int) { engineWorkers = n }
 // time of every table to its search time. cmd/repro wires its
 // -table-cache flag here.
 func SetTableCacheDir(dir string) { sharedCache.SetDir(dir) }
+
+// telSink receives phase spans and counters from every subsequent
+// experiment run; nil (the default) disables instrumentation at zero
+// cost. cmd/repro wires its -telemetry/-telemetry-text flags here.
+var telSink *telemetry.Sink
+
+// telSpan is the span of the experiment currently running; core.Optimize
+// calls nest their phase trees (tables/search/schedule) under it.
+// Experiments run sequentially, so a single current-span is enough.
+var telSpan *telemetry.Span
+
+// SetTelemetry routes phase spans and subsystem counters of subsequent
+// experiment runs into sink (nil turns instrumentation back off).
+func SetTelemetry(sink *telemetry.Sink) { telSink = sink }
+
+// expSpan opens the top-level span for one experiment run and makes it
+// the parent of every Optimize call until the returned timing is Ended:
+//
+//	defer expSpan("tab3").End()
+func expSpan(name string) telemetry.Timing {
+	telSpan = telSink.Span(name) // nil sink → nil span → all no-ops
+	return telSpan.Begin()
+}
 
 // tableWidth is the lookup-table width used across experiments: wide
 // enough for every W_TAM the paper sweeps.

@@ -30,6 +30,7 @@ type Fig2Result struct {
 
 // Fig2 sweeps every m in the w=10 band for ckt-7.
 func Fig2() (*Fig2Result, error) {
+	defer expSpan("fig2").End()
 	c, err := soc.IndustrialCore("ckt-7")
 	if err != nil {
 		return nil, err
@@ -91,11 +92,13 @@ type Fig3Result struct {
 // Fig3 finds, for each TAM width w, the best m in w's band for ckt-7,
 // using the same banded exploration the optimizer's lookup tables use.
 func Fig3() (*Fig3Result, error) {
+	defer expSpan("fig3").End()
 	c, err := soc.IndustrialCore("ckt-7")
 	if err != nil {
 		return nil, err
 	}
-	tab, err := sharedCache.Get(c, core.TableOptions{MaxWidth: tableWidth, Workers: engineWorkers})
+	tab, err := sharedCache.GetInstrumented(c,
+		core.TableOptions{MaxWidth: tableWidth, Workers: engineWorkers}, telSink)
 	if err != nil {
 		return nil, err
 	}
@@ -155,13 +158,14 @@ var styleOrder = [3]core.Style{core.StyleNoTDC, core.StyleTDCPerTAM, core.StyleT
 
 // Fig4 optimizes the Figure 4 SOC under each architecture style.
 func Fig4() (*Fig4Result, error) {
+	defer expSpan("fig4").End()
 	s := soc.Figure4SOC()
 	r := &Fig4Result{WTAM: 31}
 	for i, style := range styleOrder {
 		res, err := core.Optimize(s, r.WTAM, core.Options{
 			Style:  style,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
-			Cache:  &sharedCache, Workers: engineWorkers,
+			Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		})
 		if err != nil {
 			return nil, err

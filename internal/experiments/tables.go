@@ -31,13 +31,14 @@ type Tab1Result struct {
 // driven by one ATE channel in the proposed scheme, so the proposed
 // column is the co-optimizer at W_TAM = W_ATE.
 func Tab1() (*Tab1Result, error) {
+	defer expSpan("tab1").End()
 	r := &Tab1Result{}
 	for _, design := range []*soc.SOC{soc.D695(), soc.D2758()} {
 		for _, wate := range []int{8, 16, 24, 32} {
 			ours, err := core.Optimize(design, wate, core.Options{
 				Style:  core.StyleTDCPerCore,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
-				Cache:  &sharedCache, Workers: engineWorkers,
+				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			})
 			if err != nil {
 				return nil, err
@@ -107,13 +108,14 @@ type Tab2Result struct {
 // budget: its ATE channel count is the TAM width divided by the
 // expansion ratio.
 func Tab2() (*Tab2Result, error) {
+	defer expSpan("tab2").End()
 	design := soc.D695()
 	r := &Tab2Result{Design: design.Name}
 	for _, wtam := range []int{16, 24, 32, 40, 48, 56, 64} {
 		ours, err := core.Optimize(design, wtam, core.Options{
 			Style:  core.StyleTDCPerCore,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
-			Cache:  &sharedCache, Workers: engineWorkers,
+			Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		})
 		if err != nil {
 			return nil, err
@@ -194,6 +196,7 @@ var Tab3Widths = []int{16, 32, 48, 64}
 
 // Tab3 runs the with/without-TDC comparison.
 func Tab3() (*Tab3Result, error) {
+	defer expSpan("tab3").End()
 	designs := []*soc.SOC{soc.D695()}
 	for _, n := range soc.SystemNames() {
 		s, err := soc.System(n)
@@ -215,7 +218,7 @@ func Tab3() (*Tab3Result, error) {
 			noTDC, err := core.Optimize(design, wtam, core.Options{
 				Style:  core.StyleNoTDC,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
-				Cache:  &sharedCache, Workers: engineWorkers,
+				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			})
 			if err != nil {
 				return nil, err
@@ -223,7 +226,7 @@ func Tab3() (*Tab3Result, error) {
 			tdc, err := core.Optimize(design, wtam, core.Options{
 				Style:  core.StyleTDCPerCore,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
-				Cache:  &sharedCache, Workers: engineWorkers,
+				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			})
 			if err != nil {
 				return nil, err

@@ -31,19 +31,20 @@ type TechSelResult struct {
 // TechSel compares SOC plans with and without the dictionary codec in
 // the per-core choice set.
 func TechSel() (*TechSelResult, error) {
+	defer expSpan("techsel").End()
 	r := &TechSelResult{}
 	designs := []*soc.SOC{soc.D695(), soc.MustSystem("System1")}
 	for _, design := range designs {
 		for _, wtam := range []int{16, 32} {
 			plain, err := core.Optimize(design, wtam, core.Options{
-				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
 			})
 			if err != nil {
 				return nil, err
 			}
 			sel, err := core.Optimize(design, wtam, core.Options{
-				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers,
+				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 				Tables:     core.TableOptions{MaxWidth: tableWidth},
 				EnableDict: true, DictSizes: []int{64, 256},
 			})

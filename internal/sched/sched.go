@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+
+	"soctap/internal/telemetry"
 )
 
 // Duration reports the test time of core c when tested on a bus of the
@@ -115,6 +117,12 @@ type Planner struct {
 	busTimes []int64 // per-bus finish-time scratch
 	cts      []coreTime
 	order    []int
+
+	// Placements, when non-nil, counts core placements made by the
+	// makespan paths — one per core of every schedule evaluated. The
+	// nil default is free, keeping the warm makespan path at zero
+	// allocations and unmeasurable overhead.
+	Placements *telemetry.Counter
 }
 
 type coreTime struct {
@@ -236,6 +244,7 @@ func (p *Planner) placeMakespan(order []int, widths []int, dur Duration) (int64,
 			makespan = bestFinish
 		}
 	}
+	p.Placements.Add(int64(len(order)))
 	return makespan, nil
 }
 

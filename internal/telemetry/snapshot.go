@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"soctap/internal/report"
+)
+
+// Snapshot is a point-in-time copy of a sink: counters (exact,
+// deterministic for any worker count), timers (wall clock, not), and
+// the span tree. It renders as deterministic JSON (map keys sorted by
+// encoding/json, spans in creation order) and as human text.
+type Snapshot struct {
+	TotalSeconds float64            `json:"total_seconds"`
+	Counters     map[string]int64   `json:"counters"`
+	Timings      map[string]float64 `json:"timings_seconds,omitempty"`
+	Spans        []SpanSnap         `json:"spans,omitempty"`
+}
+
+// SpanSnap is one node of the snapshot's phase tree.
+type SpanSnap struct {
+	Name     string     `json:"name"`
+	Seconds  float64    `json:"seconds"`
+	Count    int64      `json:"count"`
+	Children []SpanSnap `json:"children,omitempty"`
+}
+
+// Snapshot copies the sink's current state. On a nil sink it returns an
+// empty snapshot, so report paths need no enabled-check either.
+func (s *Sink) Snapshot() *Snapshot {
+	sn := &Snapshot{Counters: map[string]int64{}}
+	if s == nil {
+		return sn
+	}
+	sn.TotalSeconds = time.Since(s.start).Seconds()
+	s.mu.Lock()
+	for name, c := range s.counters {
+		sn.Counters[name] = c.Value()
+	}
+	if len(s.timers) > 0 {
+		sn.Timings = make(map[string]float64, len(s.timers))
+		for name, t := range s.timers {
+			sn.Timings[name] = t.Value().Seconds()
+		}
+	}
+	s.mu.Unlock()
+	sn.Spans = snapSpans(&s.root)
+	return sn
+}
+
+// snapSpans copies a span's children (creation order) recursively.
+func snapSpans(sp *Span) []SpanSnap {
+	sp.mu.Lock()
+	kids := append([]*Span(nil), sp.children...)
+	sp.mu.Unlock()
+	if len(kids) == 0 {
+		return nil
+	}
+	out := make([]SpanSnap, len(kids))
+	for i, c := range kids {
+		out[i] = SpanSnap{
+			Name:     c.name,
+			Seconds:  time.Duration(c.elapsed.Load()).Seconds(),
+			Count:    c.count.Load(),
+			Children: snapSpans(c),
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON. encoding/json sorts
+// map keys, so the byte layout is stable run to run (timing values
+// aside) — diffable and machine-consumable.
+func (sn *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(sn, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Render writes the snapshot as human text in the repository's report
+// style: the span tree with per-phase bars scaled to the longest phase,
+// then counters and timers as fixed-width tables.
+func (sn *Snapshot) Render(w io.Writer) error {
+	const barWidth = 28
+	var maxSec float64
+	var walk func([]SpanSnap)
+	walk = func(spans []SpanSnap) {
+		for _, sp := range spans {
+			if sp.Seconds > maxSec {
+				maxSec = sp.Seconds
+			}
+			walk(sp.Children)
+		}
+	}
+	walk(sn.Spans)
+
+	spanTab := report.NewTable(
+		fmt.Sprintf("phase spans (%.3fs total)", sn.TotalSeconds),
+		"phase", "seconds", "count", "")
+	var dfs func(spans []SpanSnap, depth int)
+	dfs = func(spans []SpanSnap, depth int) {
+		for _, sp := range spans {
+			bar := ""
+			if maxSec > 0 {
+				bar = strings.Repeat("#", int(sp.Seconds/maxSec*barWidth+0.5))
+			}
+			spanTab.Add(strings.Repeat("  ", depth)+sp.Name,
+				fmt.Sprintf("%.3f", sp.Seconds), fmt.Sprint(sp.Count), bar)
+			dfs(sp.Children, depth+1)
+		}
+	}
+	dfs(sn.Spans, 0)
+	if len(sn.Spans) > 0 {
+		if err := spanTab.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(sn.Counters) > 0 {
+		names := make([]string, 0, len(sn.Counters))
+		for n := range sn.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		tab := report.NewTable("\ncounters", "counter", "value")
+		for _, n := range names {
+			tab.Add(n, fmt.Sprint(sn.Counters[n]))
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(sn.Timings) > 0 {
+		names := make([]string, 0, len(sn.Timings))
+		for n := range sn.Timings {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		tab := report.NewTable("\ntimings (wall clock, not deterministic)", "timer", "seconds")
+		for _, n := range names {
+			tab.Add(n, fmt.Sprintf("%.3f", sn.Timings[n]))
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

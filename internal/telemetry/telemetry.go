@@ -1,0 +1,248 @@
+// Package telemetry is the instrumentation layer of the optimizer
+// pipeline: hierarchical phase spans (parse → per-core table builds →
+// architecture search → schedule → verify), race-safe counters
+// registered by subsystem (cache hits, memo hits, kernel invocations),
+// and wall-clock timers (worker busy time).
+//
+// The layer is zero-overhead when disabled. Every method is safe on a
+// nil receiver and does nothing: a nil *Sink yields nil *Counter, nil
+// *Timer and nil *Span values, whose Add/Inc/Begin/End calls are plain
+// nil checks — no allocation, no atomics, no locks. Hot loops therefore
+// carry instrumentation unconditionally and pay nothing until a sink is
+// attached (asserted by the telemetry-overhead gate in the Makefile).
+//
+// Counters are exact and deterministic for any worker-pool size: they
+// count algorithmic events (a cache probe, a schedule evaluation), not
+// scheduling accidents, so two runs of the same workload produce
+// identical counter snapshots regardless of parallelism. Timers and
+// span durations are wall-clock and excluded from that guarantee; the
+// Snapshot type keeps the two apart.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a race-safe monotonic event counter. The nil Counter is a
+// no-op, so callers hold plain fields and never branch on "enabled".
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n; no-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one; no-op on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the counter; zero on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Timer accumulates wall-clock durations (e.g. worker-slot busy time).
+// Timer values are not deterministic across runs and are reported apart
+// from counters. The nil Timer is a no-op.
+type Timer struct {
+	ns atomic.Int64
+}
+
+// Add accumulates d; no-op on nil.
+func (t *Timer) Add(d time.Duration) {
+	if t != nil {
+		t.ns.Add(int64(d))
+	}
+}
+
+// Value reads the accumulated duration; zero on nil.
+func (t *Timer) Value() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Span is one node of the phase tree. A span accumulates wall time and
+// a completion count over Begin/End cycles; children are merged by name
+// (a phase entered twice is one node with count 2). Spans may be begun
+// and ended from any goroutine; to keep the tree shape deterministic
+// under worker pools, create the children on the coordinating goroutine
+// (in task order) and hand them to the workers.
+type Span struct {
+	sink *Sink
+	name string // path segment
+	path string // "/"-joined path from the root, root excluded
+
+	mu       sync.Mutex
+	children []*Span
+	index    map[string]*Span
+
+	elapsed atomic.Int64 // summed Begin→End nanoseconds
+	count   atomic.Int64 // completed Begin→End cycles
+}
+
+// Sink returns the sink the span records into; nil on a nil span.
+func (sp *Span) Sink() *Sink {
+	if sp == nil {
+		return nil
+	}
+	return sp.sink
+}
+
+// Child returns the named child span, creating it on first use; nil on
+// a nil receiver. Repeated calls with one name return one node.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if c, ok := sp.index[name]; ok {
+		return c
+	}
+	path := name
+	if sp.path != "" {
+		path = sp.path + "/" + name
+	}
+	c := &Span{sink: sp.sink, name: name, path: path}
+	if sp.index == nil {
+		sp.index = make(map[string]*Span)
+	}
+	sp.index[name] = c
+	sp.children = append(sp.children, c)
+	return c
+}
+
+// Timing is one open Begin→End interval on a span. The zero Timing
+// (from a nil span) is a no-op to End.
+type Timing struct {
+	sp *Span
+	t0 time.Time
+}
+
+// Begin opens a timing interval on the span. On a nil span it returns
+// the zero Timing without reading the clock.
+func (sp *Span) Begin() Timing {
+	if sp == nil {
+		return Timing{}
+	}
+	return Timing{sp: sp, t0: time.Now()}
+}
+
+// End closes the interval, accumulating its duration into the span and
+// firing the sink's span hook; no-op on the zero Timing.
+func (t Timing) End() {
+	if t.sp == nil {
+		return
+	}
+	d := time.Since(t.t0)
+	t.sp.elapsed.Add(int64(d))
+	t.sp.count.Add(1)
+	t.sp.sink.spanEnded(t.sp.path, d)
+}
+
+// Sink is the root of one telemetry domain: a counter/timer registry
+// plus a span tree. The nil *Sink disables everything it hands out.
+type Sink struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	root     Span
+
+	hookMu   sync.Mutex
+	spanHook func(path string, elapsed time.Duration)
+
+	start time.Time
+}
+
+// New creates an enabled sink.
+func New() *Sink {
+	s := &Sink{start: time.Now()}
+	s.root.sink = s
+	return s
+}
+
+// Root returns the root span (the anchor for top-level phases); nil on
+// a nil sink.
+func (s *Sink) Root() *Span {
+	if s == nil {
+		return nil
+	}
+	return &s.root
+}
+
+// Span is shorthand for Root().Child(name).
+func (s *Sink) Span(name string) *Span { return s.Root().Child(name) }
+
+// Counter returns the named counter, registering it on first use; nil
+// on a nil sink. Names are dotted subsystem paths ("diskcache.hits").
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.counters[name]; ok {
+		return c
+	}
+	if s.counters == nil {
+		s.counters = make(map[string]*Counter)
+	}
+	c := new(Counter)
+	s.counters[name] = c
+	return c
+}
+
+// Timer returns the named timer, registering it on first use; nil on a
+// nil sink.
+func (s *Sink) Timer(name string) *Timer {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.timers[name]; ok {
+		return t
+	}
+	if s.timers == nil {
+		s.timers = make(map[string]*Timer)
+	}
+	t := new(Timer)
+	s.timers[name] = t
+	return t
+}
+
+// SetSpanHook installs fn to run on every span End with the span's
+// "/"-joined path and that interval's duration — the progress-line hook
+// of cmd/repro. fn may be called from worker goroutines; invocations
+// are serialized by the sink. No-op on a nil sink.
+func (s *Sink) SetSpanHook(fn func(path string, elapsed time.Duration)) {
+	if s == nil {
+		return
+	}
+	s.hookMu.Lock()
+	s.spanHook = fn
+	s.hookMu.Unlock()
+}
+
+// spanEnded fires the span hook under the hook lock (serializing
+// concurrent worker-end events); no-op on nil sinks or unset hooks.
+func (s *Sink) spanEnded(path string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.hookMu.Lock()
+	defer s.hookMu.Unlock()
+	if s.spanHook != nil {
+		s.spanHook(path, d)
+	}
+}

@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSinkIsInert: every operation on the disabled layer — nil sink,
+// nil span, nil counter, nil timer, zero timing — must be a safe no-op.
+func TestNilSinkIsInert(t *testing.T) {
+	var s *Sink
+	if s.Root() != nil || s.Span("x") != nil || s.Counter("c") != nil || s.Timer("t") != nil {
+		t.Fatal("nil sink handed out non-nil instruments")
+	}
+	s.SetSpanHook(func(string, time.Duration) { t.Fatal("hook on nil sink") })
+
+	var sp *Span
+	if sp.Child("y") != nil || sp.Sink() != nil {
+		t.Fatal("nil span handed out non-nil values")
+	}
+	sp.Begin().End()
+
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var tm *Timer
+	tm.Add(time.Second)
+	if tm.Value() != 0 {
+		t.Fatal("nil timer has a value")
+	}
+
+	sn := s.Snapshot()
+	if sn == nil || len(sn.Counters) != 0 || len(sn.Spans) != 0 {
+		t.Fatalf("nil sink snapshot: %+v", sn)
+	}
+}
+
+// TestNilFastPathAllocs: the disabled instrumentation primitives must
+// not allocate — this is what lets hot loops carry them unconditionally.
+func TestNilFastPathAllocs(t *testing.T) {
+	var c *Counter
+	var tm *Timer
+	var sp *Span
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		tm.Add(time.Millisecond)
+		sp.Begin().End()
+		_ = sp.Child("x")
+	}); n != 0 {
+		t.Fatalf("disabled telemetry primitives allocate %v times per op, want 0", n)
+	}
+}
+
+// TestCountersAndSpans: basic accounting through an enabled sink.
+func TestCountersAndSpans(t *testing.T) {
+	s := New()
+	s.Counter("sub.hits").Add(2)
+	s.Counter("sub.hits").Inc() // same registry entry
+	s.Counter("sub.misses").Inc()
+	s.Timer("sub.busy").Add(250 * time.Millisecond)
+
+	root := s.Root()
+	phase := root.Child("phase")
+	tt := phase.Begin()
+	inner := phase.Child("inner")
+	it := inner.Begin()
+	it.End()
+	it2 := inner.Begin() // merged by name: count 2
+	it2.End()
+	tt.End()
+
+	sn := s.Snapshot()
+	if sn.Counters["sub.hits"] != 3 || sn.Counters["sub.misses"] != 1 {
+		t.Fatalf("counters: %v", sn.Counters)
+	}
+	if sn.Timings["sub.busy"] < 0.24 {
+		t.Fatalf("timer lost time: %v", sn.Timings)
+	}
+	if len(sn.Spans) != 1 || sn.Spans[0].Name != "phase" || sn.Spans[0].Count != 1 {
+		t.Fatalf("span tree: %+v", sn.Spans)
+	}
+	if len(sn.Spans[0].Children) != 1 || sn.Spans[0].Children[0].Count != 2 {
+		t.Fatalf("merged child span: %+v", sn.Spans[0].Children)
+	}
+}
+
+// TestSpanHook: every End fires the hook with the full path, serialized
+// across goroutines.
+func TestSpanHook(t *testing.T) {
+	s := New()
+	var mu sync.Mutex
+	var paths []string
+	s.SetSpanHook(func(path string, d time.Duration) {
+		mu.Lock()
+		paths = append(paths, path)
+		mu.Unlock()
+	})
+	parent := s.Span("tables")
+	// Children created in order on the coordinator, ended on workers.
+	kids := []*Span{parent.Child("core:a"), parent.Child("core:b")}
+	var wg sync.WaitGroup
+	for _, k := range kids {
+		wg.Add(1)
+		go func(sp *Span) {
+			defer wg.Done()
+			sp.Begin().End()
+		}(k)
+	}
+	wg.Wait()
+	parent.Begin().End()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(paths) != 3 {
+		t.Fatalf("hook fired %d times, want 3: %v", len(paths), paths)
+	}
+	found := map[string]bool{}
+	for _, p := range paths {
+		found[p] = true
+	}
+	for _, want := range []string{"tables/core:a", "tables/core:b", "tables"} {
+		if !found[want] {
+			t.Fatalf("missing hook path %q in %v", want, paths)
+		}
+	}
+}
+
+// TestConcurrentCounters: many goroutines hammering one registry must
+// lose no increments (run under -race in the tier-1 gate).
+func TestConcurrentCounters(t *testing.T) {
+	s := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Counter("shared").Inc()
+				s.Span("phase").Child("p").Begin().End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("lost increments: %d, want %d", got, workers*perWorker)
+	}
+	sn := s.Snapshot()
+	if sn.Spans[0].Children[0].Count != workers*perWorker {
+		t.Fatalf("lost span cycles: %+v", sn.Spans)
+	}
+}
+
+// TestSnapshotJSONDeterminism: two snapshots of identical counter state
+// marshal to identical counter JSON (keys sorted by encoding/json).
+func TestSnapshotJSONDeterminism(t *testing.T) {
+	mk := func() []byte {
+		s := New()
+		s.Counter("b.two").Add(2)
+		s.Counter("a.one").Add(1)
+		s.Counter("c.three").Add(3)
+		sn := s.Snapshot()
+		sn.TotalSeconds = 0 // timing erased for the byte comparison
+		var buf bytes.Buffer
+		if err := sn.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if a, b := mk(), mk(); !bytes.Equal(a, b) {
+		t.Fatalf("snapshot JSON not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSnapshotRoundTrip: the written JSON is valid and decodes back to
+// the same counters.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New()
+	s.Counter("diskcache.hits").Add(7)
+	s.Span("search").Child("k-sweep").Begin().End()
+	var buf bytes.Buffer
+	if err := s.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid snapshot JSON: %v\n%s", err, buf.Bytes())
+	}
+	if back.Counters["diskcache.hits"] != 7 {
+		t.Fatalf("round-tripped counters: %v", back.Counters)
+	}
+	if len(back.Spans) != 1 || back.Spans[0].Children[0].Name != "k-sweep" {
+		t.Fatalf("round-tripped spans: %+v", back.Spans)
+	}
+}
+
+// TestRenderText: the human rendering mentions phases, counters and the
+// per-phase bars.
+func TestRenderText(t *testing.T) {
+	s := New()
+	s.Counter("cache.mem_hits").Add(4)
+	s.Timer("eval.worker_busy").Add(time.Second)
+	tt := s.Span("tables").Begin()
+	time.Sleep(2 * time.Millisecond)
+	tt.End()
+	var buf bytes.Buffer
+	if err := s.Snapshot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"phase spans", "tables", "cache.mem_hits", "4", "eval.worker_busy", "#"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStartProfiles: the pprof escape hatches produce non-empty profile
+// files and stop cleanly; empty paths are free.
+func TestStartProfiles(t *testing.T) {
+	stop, err := StartProfiles("", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	tr := filepath.Join(dir, "trace.out")
+	stop, err = StartProfiles(cpu, mem, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to hold.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem, tr} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+}

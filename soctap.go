@@ -50,6 +50,7 @@ import (
 	"soctap/internal/sim"
 	"soctap/internal/soc"
 	"soctap/internal/tam"
+	"soctap/internal/telemetry"
 	"soctap/internal/truncate"
 )
 
@@ -117,6 +118,28 @@ const (
 
 // Tester is an ATE configuration (channels, memory depth, frequency).
 type Tester = ate.Tester
+
+// TelemetrySink is the root of one instrumentation domain: race-safe
+// subsystem counters plus a hierarchical phase-span tree. A nil sink
+// disables everything it hands out at zero cost, so instrumentation can
+// stay wired in permanently. Attach one to a run via
+// Options.Telemetry = sink.Root().
+type TelemetrySink = telemetry.Sink
+
+// TelemetrySpan is one node of a sink's phase tree.
+type TelemetrySpan = telemetry.Span
+
+// TelemetrySnapshot is a point-in-time copy of a sink — counters, wall
+// timings, and the span tree — renderable as deterministic JSON
+// (WriteJSON) or human text (Render).
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetry creates an enabled telemetry sink:
+//
+//	sink := soctap.NewTelemetry()
+//	res, err := soctap.Optimize(s, 32, soctap.Options{Telemetry: sink.Root()})
+//	sink.Snapshot().WriteJSON(os.Stdout)
+func NewTelemetry() *TelemetrySink { return telemetry.New() }
 
 // BaselineResult is a prior-work proxy evaluation.
 type BaselineResult = baselines.Result
