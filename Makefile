@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead kernel-equivalence
 
 # check is the tier-1 gate: everything must pass before a change lands.
-check: vet build test race bench-smoke telemetry-overhead
+# A PR that touches the kernels or the sweep should also refresh the
+# dated benchmark archive with `make bench-json` and note the numbers.
+check: vet build test race bench-smoke telemetry-overhead kernel-equivalence
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +48,17 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkGreedySchedule$$' -benchtime 1x -benchmem ./internal/sched ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 	@echo wrote BENCH_$$(date +%Y-%m-%d).json
+
+# kernel-equivalence asserts the word-parallel kernel and sweep-pruning
+# exactness contracts: both plane-building paths agree with each other
+# and with the real encoder, pruned tables are deeply equal to unpruned
+# ones on every d695/industrial core, steady-state tdcCost runs at 0
+# allocs/op on both paths, and the fuzz seed corpora for the word and
+# codec kernels still pass.
+kernel-equivalence:
+	$(GO) test -run 'TestKernelPathsAgree|TestKernelSteadyStateZeroAlloc|TestBuildTablePruningGoldenEquivalence|TestEvalTDCMatchesRealEncoder' -count=1 ./internal/core
+	$(GO) test -run 'FuzzWordKernels' -count=1 ./internal/bitvec
+	$(GO) test -run 'FuzzEncodeDecodeRoundTrip|FuzzDecodeStream' -count=1 ./internal/selenc
 
 # telemetry-overhead asserts the zero-overhead-when-disabled contract:
 # the instrumented-but-disabled kernel and makespan paths must run at 0

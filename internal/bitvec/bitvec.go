@@ -12,6 +12,7 @@ package bitvec
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 	"strings"
 )
 
@@ -95,17 +96,11 @@ func (v *Vector) Clone() *Vector {
 	return c
 }
 
-// Equal reports whether v and o have the same length and contents.
+// Equal reports whether v and o have the same length and contents. It
+// short-circuits on the length check and then compares whole words —
+// never individual bits.
 func (v *Vector) Equal(o *Vector) bool {
-	if v.n != o.n {
-		return false
-	}
-	for i, w := range v.words {
-		if w != o.words[i] {
-			return false
-		}
-	}
-	return true
+	return v.n == o.n && slices.Equal(v.words, o.words)
 }
 
 // String renders the vector as a string of '0'/'1' characters, position 0

@@ -15,8 +15,6 @@
 package core
 
 import (
-	"slices"
-
 	"soctap/internal/cube"
 	"soctap/internal/selenc"
 	"soctap/internal/soc"
@@ -57,9 +55,10 @@ func (c Config) better(o Config) bool {
 // kernel of the (w, m) exploration: the core's test set is flattened
 // into one contiguous care-bit array up front, the most recent wrapper
 // design (and its stimulus map) is kept so consecutive evaluations at
-// the same m share it, and the per-pattern sort buffer is reused across
-// calls. An Evaluator is not safe for concurrent use; parallel sweeps
-// give each worker its own (see lookup.go).
+// the same m share it, and the word-kernel plane scratch (kernel.go) is
+// reused across the whole sweep. An Evaluator is not safe for
+// concurrent use; parallel sweeps give each worker its own (see
+// lookup.go).
 type Evaluator struct {
 	core *soc.Core
 	ts   *cube.Set
@@ -70,8 +69,7 @@ type Evaluator struct {
 	careRef []uint64
 	cubeOff []int
 
-	keys    []uint64 // per-pattern sort scratch
-	sortBuf []uint64 // radix-sort ping-pong scratch
+	kern kernelScratch // word-parallel slice kernel state
 
 	lastM int // most recently built wrapper design (0 = none)
 	lastD *wrapper.Design
@@ -113,6 +111,12 @@ func NewEvaluator(c *soc.Core) (*Evaluator, error) {
 		}
 	}
 	e.cubeOff[ts.Len()] = len(e.careRef)
+	// Pick the kernel's plane-building strategy from the measured care
+	// density of the test set (kernel.go).
+	if bits := int64(c.StimulusBits()) * int64(ts.Len()); bits > 0 {
+		density := float64(ts.TotalCareBits()) / float64(bits)
+		e.kern.dense = density >= denseDensityThreshold
+	}
 	return e, nil
 }
 
@@ -189,13 +193,12 @@ func (e *Evaluator) PatternBits(m int) ([]int64, error) {
 	}
 	k := int64(selenc.PayloadBits(m))
 	w := k + 2
-	refs := d.StimulusMap()
 	si := int64(d.ScanIn)
+	e.kernelPrepare(d)
 
 	out := make([]int64, e.ts.Len())
 	for j := range out {
-		keys := e.patternKeys(refs, j)
-		out[j] = (si + sliceOps(keys, k, true)) * w
+		out[j] = (si + e.patternOps(j, k, true)) * w
 	}
 	return out, nil
 }
@@ -203,21 +206,21 @@ func (e *Evaluator) PatternBits(m int) ([]int64, error) {
 // tdcCost computes the exact test time and compressed volume for a
 // wrapper design, without materializing codewords. It reproduces
 // selenc's cost model — per slice, one header plus min(t, 2) codewords
-// per group holding t target bits (fill = per-slice care majority) — and
-// is validated against the real encoder in the tests.
+// per group holding t target bits (fill = per-slice care majority) — via
+// the word-parallel plane kernel (kernel.go) and is validated against
+// the real encoder in the tests.
 func (e *Evaluator) tdcCost(d *wrapper.Design, groupCopy bool) (time, volume int64) {
 	k := int64(selenc.PayloadBits(d.M))
 	w := k + 2
 	si := int64(d.ScanIn)
 	so := int64(d.ScanOut)
-	refs := d.StimulusMap()
+	e.kernelPrepare(d)
 
 	var totalCW int64
 	for j := 0; j < e.ts.Len(); j++ {
-		keys := e.patternKeys(refs, j)
 		// One header per slice (including fully-X slices) plus the
 		// encoding operations.
-		cw := si + sliceOps(keys, k, groupCopy)
+		cw := si + e.patternOps(j, k, groupCopy)
 		totalCW += cw
 		if j == 0 {
 			time += cw
@@ -230,108 +233,6 @@ func (e *Evaluator) tdcCost(d *wrapper.Design, groupCopy bool) (time, volume int
 	time += int64(e.ts.Len()) + so
 	volume = totalCW * w
 	return time, volume
-}
-
-// patternKeys builds and sorts cube j's encoding keys: slice-major
-// (Depth in the high word), chain-minor, care-bit value in bit 0. The
-// returned slice aliases the evaluator's scratch buffer and is valid
-// until the next call.
-func (e *Evaluator) patternKeys(refs []wrapper.CellRef, j int) []uint64 {
-	keys := e.keys[:0]
-	for _, p := range e.careRef[e.cubeOff[j]:e.cubeOff[j+1]] {
-		r := refs[p>>1]
-		keys = append(keys, uint64(r.Depth)<<32|uint64(r.Chain)<<1|p&1)
-	}
-	e.keys = keys[:0] // keep grown capacity for the next pattern
-	e.sortKeys(keys)
-	return keys
-}
-
-// radixMinLen is the cube size above which the LSD radix sort beats the
-// comparison sort.
-const radixMinLen = 192
-
-// sortKeys sorts a pattern's keys ascending: slices.Sort for small
-// cubes, an LSD radix sort over the significant bytes for large ones.
-func (e *Evaluator) sortKeys(keys []uint64) {
-	if len(keys) < radixMinLen {
-		slices.Sort(keys)
-		return
-	}
-	var maxKey uint64
-	for _, k := range keys {
-		if k > maxKey {
-			maxKey = k
-		}
-	}
-	if cap(e.sortBuf) < len(keys) {
-		e.sortBuf = make([]uint64, len(keys))
-	}
-	src, dst := keys, e.sortBuf[:len(keys)]
-	for shift := uint(0); maxKey>>shift != 0; shift += 8 {
-		var counts [256]int
-		for _, k := range src {
-			counts[k>>shift&0xff]++
-		}
-		total := 0
-		for b, c := range counts {
-			counts[b] = total
-			total += c
-		}
-		for _, k := range src {
-			dst[counts[k>>shift&0xff]] = k
-			counts[k>>shift&0xff]++
-		}
-		src, dst = dst, src
-	}
-	if &src[0] != &keys[0] {
-		copy(keys, src)
-	}
-}
-
-// sliceOps returns the selective-encoding operation count for one
-// pattern's sorted keys under payload width k: per slice, min(t, 2)
-// codewords (single-bit, or group-index + literal-data when groupCopy)
-// for each group holding t target bits, where targets are the care bits
-// differing from the slice's majority fill. Slice headers are charged
-// by the caller. This is the single cost model shared by tdcCost and
-// PatternBits.
-func sliceOps(keys []uint64, k int64, groupCopy bool) int64 {
-	var ops int64
-	for start := 0; start < len(keys); {
-		end := start
-		slice := keys[start] >> 32
-		ones := 0
-		for end < len(keys) && keys[end]>>32 == slice {
-			if keys[end]&1 != 0 {
-				ones++
-			}
-			end++
-		}
-		fill := uint64(0)
-		if ones*2 > end-start {
-			fill = 1
-		}
-		// Count targets per group over the chain-sorted run.
-		group := int64(-1)
-		inGroup := 0
-		for i := start; i < end; i++ {
-			if keys[i]&1 == fill {
-				continue
-			}
-			chain := int64(keys[i]>>1) & 0x7fffffff
-			g := chain / k
-			if g != group {
-				ops += flushGroup(inGroup, groupCopy)
-				group = g
-				inGroup = 0
-			}
-			inGroup++
-		}
-		ops += flushGroup(inGroup, groupCopy)
-		start = end
-	}
-	return ops
 }
 
 func flushGroup(t int, groupCopy bool) int64 {

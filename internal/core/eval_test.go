@@ -3,7 +3,6 @@ package core
 import (
 	"math/rand"
 	"reflect"
-	"slices"
 	"testing"
 	"testing/quick"
 
@@ -149,9 +148,9 @@ func referenceTDCquiet(c *soc.Core, m int) (int64, int64) {
 	return time, totalCW * int64(w)
 }
 
-// TestEvalTDCLargeCubeMatchesRealEncoder covers the radix-sort path of
-// the kernel: cubes with well over radixMinLen care bits must still
-// match the real encoder exactly.
+// TestEvalTDCLargeCubeMatchesRealEncoder covers big-cube inputs on
+// wide designs: thousands of care bits per pattern must still match
+// the real encoder exactly.
 func TestEvalTDCLargeCubeMatchesRealEncoder(t *testing.T) {
 	chains := make([]int, 24)
 	for i := range chains {
@@ -161,16 +160,6 @@ func TestEvalTDCLargeCubeMatchesRealEncoder(t *testing.T) {
 		Name: "bigcube", Inputs: 30, Outputs: 30,
 		ScanChains: chains, // 2880 cells
 		Patterns:   6, CareDensity: 0.25, Clustering: 0.4, Seed: 17,
-	}
-	ts := c.MustTestSet()
-	big := 0
-	for _, cb := range ts.Cubes {
-		if len(cb.Care) >= radixMinLen {
-			big++
-		}
-	}
-	if big == 0 {
-		t.Fatal("test core produced no radix-sized cubes")
 	}
 	for _, m := range []int{5, 24, 40} {
 		got, err := EvalTDC(c, m)
@@ -185,23 +174,71 @@ func TestEvalTDCLargeCubeMatchesRealEncoder(t *testing.T) {
 	}
 }
 
-// TestSortKeys pits the kernel's sort (including the radix path)
-// against the library sort on random key sets shaped like real ones.
-func TestSortKeys(t *testing.T) {
-	rng := rand.New(rand.NewSource(99))
-	var e Evaluator
-	for _, n := range []int{0, 1, 2, 50, radixMinLen - 1, radixMinLen, 500, 4096} {
-		keys := make([]uint64, n)
-		for i := range keys {
-			depth := uint64(rng.Intn(2000))
-			chain := uint64(rng.Intn(512))
-			keys[i] = depth<<32 | chain<<1 | uint64(rng.Intn(2))
+// TestKernelPathsAgree forces both plane-building strategies of the
+// word kernel — dense (flat planes + transpose) and sparse (scatter
+// over dirty rows) — onto the same cores and requires identical costs
+// from each, for both group-copy settings. The density heuristic may
+// pick either path; correctness must never depend on the choice.
+func TestKernelPathsAgree(t *testing.T) {
+	cores := []*soc.Core{
+		smallCore(7),
+		{Name: "dense", Inputs: 20, Outputs: 10, ScanChains: []int{70, 40, 40, 10},
+			Patterns: 15, CareDensity: 0.55, Clustering: 0.3, Seed: 9},
+		{Name: "thin", Inputs: 8, Outputs: 8, ScanChains: []int{90, 90, 90, 90, 90, 90},
+			Patterns: 12, CareDensity: 0.02, Clustering: 0.8, Seed: 31},
+		{Name: "comb", Inputs: 130, Outputs: 5, Patterns: 9,
+			CareDensity: 0.4, Seed: 12},
+	}
+	for _, c := range cores {
+		for _, m := range []int{1, 3, 17, c.MaxWrapperChains()} {
+			if m > c.MaxWrapperChains() {
+				continue
+			}
+			var results [2][2]Config
+			for pi, dense := range []bool{false, true} {
+				ev, err := NewEvaluator(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ev.kern.dense = dense
+				for gi, gc := range []bool{true, false} {
+					cfg, err := ev.TDC(m, gc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					results[pi][gi] = cfg
+				}
+			}
+			if results[0] != results[1] {
+				t.Errorf("%s m=%d: sparse %+v != dense %+v", c.Name, m, results[0], results[1])
+			}
 		}
-		want := slices.Clone(keys)
-		slices.Sort(want)
-		e.sortKeys(keys)
-		if !slices.Equal(keys, want) {
-			t.Fatalf("n=%d: sortKeys mismatch", n)
+	}
+}
+
+// TestKernelSteadyStateZeroAlloc is the 0 allocs/op gate for the word
+// kernel: once the scratch planes are warm, repeated tdcCost calls on
+// both paths must not allocate. Run by the `make check`
+// kernel-equivalence target.
+func TestKernelSteadyStateZeroAlloc(t *testing.T) {
+	c := smallCore(77)
+	for _, dense := range []bool{false, true} {
+		ev, err := NewEvaluator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.kern.dense = dense
+		d, err := ev.Design(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev.tdcCost(d, true) // warm the scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			ev.tdcCost(d, true)
+			ev.tdcCost(d, false)
+		})
+		if allocs != 0 {
+			t.Errorf("dense=%v: steady-state tdcCost allocates %.1f allocs/op, want 0", dense, allocs)
 		}
 	}
 }

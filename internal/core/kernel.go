@@ -1,0 +1,288 @@
+// Word-parallel slice kernel: the inner loop of tdcCost. Instead of
+// sorting per-pattern (depth, chain) keys, each pattern is materialized
+// as two slice-major word planes — a care plane and a value plane, one
+// row of ceil(m/64) words per scan-in slice — and priced with popcounts
+// and mask walks (see selenc's mask layout). Two strategies build the
+// planes, chosen once per evaluator from the test set's measured care
+// density:
+//
+//   - dense (d695-class cores): per-cube flat bit planes are built once
+//     and cached for the whole (w,m) sweep; per design, wrapper
+//     StimulusSegments bulk-copy them into chain-major rows and a 64×64
+//     block transpose re-slices them to slice-major. No per-care-bit
+//     work inside the sweep at all.
+//   - sparse (industrial-class cores): care bits are scattered through
+//     the StimulusMap directly into the slice-major planes; only dirty
+//     rows are priced and re-zeroed, so work scales with the cube's
+//     care-bit count, not the plane size.
+//
+// Both paths are exact and interchangeable (cross-checked in tests);
+// all scratch is owned by the Evaluator and reused across the sweep, so
+// steady-state evaluation performs no allocations (gate-enforced by
+// `make check`).
+package core
+
+import (
+	"math/bits"
+
+	"soctap/internal/bitvec"
+	"soctap/internal/wrapper"
+)
+
+// denseDensityThreshold selects the plane-building strategy: at or
+// above this measured care density the cached-flat-plane + transpose
+// path wins; below it the scatter path's care-bit-proportional work is
+// cheaper than transposing mostly-empty planes.
+const denseDensityThreshold = 0.15
+
+// kernelScratch holds the word-kernel state of one Evaluator. All
+// buffers grow to high-water marks and are reused across designs.
+type kernelScratch struct {
+	dense    bool
+	prepared *wrapper.Design // design the geometry below belongs to
+
+	// Geometry of the prepared design.
+	si         int // scan-in depth: number of slice rows priced
+	chainWords int // words per slice row, ceil(m/64)
+	siWords    int // words per chain row, ceil(si/64)
+
+	// Sparse path: stimulus map plus dirty-row bookkeeping. The slice
+	// planes are all-zero between patterns; scatters dirty rows, the
+	// walk prices them, and the clear pass restores the invariant.
+	refs  []wrapper.CellRef
+	dirty []int32
+	mark  []bool
+
+	// Dense path: per-cube flat planes (flat stimulus order, built once
+	// per evaluator) and the chain-major intermediate.
+	segs       []wrapper.StimulusSegment
+	flatWords  int
+	flatBuilt  bool
+	flatCare   []uint64 // [cube][flatWords]
+	flatValue  []uint64
+	chainCare  []uint64 // [chainWords*64 rows][siWords]
+	chainValue []uint64
+
+	// Slice-major planes shared by both paths: [row][chainWords], rows
+	// padded to siWords*64 on the dense path so whole transpose blocks
+	// can land.
+	sliceCare  []uint64
+	sliceValue []uint64
+}
+
+// kernelPrepare (re)targets the kernel scratch at a wrapper design.
+// Consecutive calls with the same design are free.
+func (e *Evaluator) kernelPrepare(d *wrapper.Design) {
+	ks := &e.kern
+	if ks.prepared == d {
+		return
+	}
+	ks.prepared = d
+	ks.si = d.ScanIn
+	ks.chainWords = (d.M + 63) / 64
+	ks.siWords = (d.ScanIn + 63) / 64
+
+	if ks.dense {
+		ks.segs = d.StimulusSegments()
+		e.buildFlatPlanes()
+		chainNeed := ks.chainWords * 64 * ks.siWords
+		if cap(ks.chainCare) < chainNeed {
+			ks.chainCare = make([]uint64, chainNeed)
+			ks.chainValue = make([]uint64, chainNeed)
+		}
+		ks.chainCare = ks.chainCare[:chainNeed]
+		ks.chainValue = ks.chainValue[:chainNeed]
+		sliceNeed := ks.siWords * 64 * ks.chainWords
+		if cap(ks.sliceCare) < sliceNeed {
+			ks.sliceCare = make([]uint64, sliceNeed)
+			ks.sliceValue = make([]uint64, sliceNeed)
+		}
+		ks.sliceCare = ks.sliceCare[:sliceNeed]
+		ks.sliceValue = ks.sliceValue[:sliceNeed]
+		return
+	}
+
+	ks.refs = d.StimulusMap()
+	// Growth via make starts zeroed and the clear pass keeps every word
+	// that was ever used zeroed, so re-slicing a larger capacity down
+	// never exposes stale bits.
+	sliceNeed := ks.si * ks.chainWords
+	if cap(ks.sliceCare) < sliceNeed {
+		ks.sliceCare = make([]uint64, sliceNeed)
+		ks.sliceValue = make([]uint64, sliceNeed)
+	}
+	ks.sliceCare = ks.sliceCare[:sliceNeed]
+	ks.sliceValue = ks.sliceValue[:sliceNeed]
+	if cap(ks.mark) < ks.si {
+		ks.mark = make([]bool, ks.si)
+		ks.dirty = make([]int32, 0, ks.si)
+	}
+	ks.mark = ks.mark[:ks.si]
+}
+
+// buildFlatPlanes materializes every cube as dense care/value planes in
+// flat stimulus order. Built once per evaluator: the flat layout does
+// not depend on m, so the whole (w,m) sweep shares them.
+func (e *Evaluator) buildFlatPlanes() {
+	ks := &e.kern
+	if ks.flatBuilt {
+		return
+	}
+	ks.flatWords = (e.core.StimulusBits() + 63) / 64
+	n := e.ts.Len() * ks.flatWords
+	ks.flatCare = make([]uint64, n)
+	ks.flatValue = make([]uint64, n)
+	for j := 0; j < e.ts.Len(); j++ {
+		base := j * ks.flatWords
+		for _, p := range e.careRef[e.cubeOff[j]:e.cubeOff[j+1]] {
+			pos := int(p >> 1)
+			bit := uint64(1) << uint(pos&63)
+			ks.flatCare[base+pos>>6] |= bit
+			if p&1 != 0 {
+				ks.flatValue[base+pos>>6] |= bit
+			}
+		}
+	}
+	ks.flatBuilt = true
+}
+
+// patternOps returns the selective-encoding operation count (codewords
+// beyond the per-slice headers) for cube j under the prepared design.
+func (e *Evaluator) patternOps(j int, k int64, groupCopy bool) int64 {
+	if e.kern.dense {
+		return e.patternOpsDense(j, k, groupCopy)
+	}
+	return e.patternOpsSparse(j, k, groupCopy)
+}
+
+// patternOpsDense re-slices cube j with pure word operations: segment
+// bulk-copies from the cached flat planes into chain-major rows, then a
+// 64×64 block transpose into the slice-major planes.
+func (e *Evaluator) patternOpsDense(j int, k int64, groupCopy bool) int64 {
+	ks := &e.kern
+	cw, siW := ks.chainWords, ks.siWords
+
+	clear(ks.chainCare)
+	clear(ks.chainValue)
+	fb := j * ks.flatWords
+	fCare := ks.flatCare[fb : fb+ks.flatWords]
+	fValue := ks.flatValue[fb : fb+ks.flatWords]
+	for _, s := range ks.segs {
+		dstOff := s.Chain*siW*64 + s.DepthStart
+		bitvec.CopyBits(ks.chainCare, dstOff, fCare, s.FlatStart, s.Len)
+		bitvec.CopyBits(ks.chainValue, dstOff, fValue, s.FlatStart, s.Len)
+	}
+
+	// Transpose block (cb, db): chain rows [cb*64, cb*64+64) at depth
+	// word db become slice rows [db*64, db*64+64) at chain word cb.
+	// Every walked slice word is overwritten, so the slice planes need
+	// no clearing. Padding chain rows (>= m) are never copied into and
+	// stay zero.
+	var a, b [64]uint64
+	for cb := 0; cb < cw; cb++ {
+		rowBase := cb * 64
+		for db := 0; db < siW; db++ {
+			for i := 0; i < 64; i++ {
+				a[i] = ks.chainCare[(rowBase+i)*siW+db]
+				b[i] = ks.chainValue[(rowBase+i)*siW+db]
+			}
+			bitvec.Transpose64(&a)
+			bitvec.Transpose64(&b)
+			out := db * 64
+			for r := 0; r < 64; r++ {
+				ks.sliceCare[(out+r)*cw+cb] = a[r]
+				ks.sliceValue[(out+r)*cw+cb] = b[r]
+			}
+		}
+	}
+
+	var ops int64
+	for row := 0; row < ks.si; row++ {
+		o := row * cw
+		ops += rowOps(ks.sliceCare[o:o+cw], ks.sliceValue[o:o+cw], k, groupCopy)
+	}
+	return ops
+}
+
+// patternOpsSparse scatters cube j's care bits through the stimulus map
+// into the slice-major planes, prices the dirty rows, and re-zeroes
+// them so the all-zero invariant holds for the next pattern.
+func (e *Evaluator) patternOpsSparse(j int, k int64, groupCopy bool) int64 {
+	ks := &e.kern
+	cw := ks.chainWords
+	dirty := ks.dirty[:0]
+	for _, p := range e.careRef[e.cubeOff[j]:e.cubeOff[j+1]] {
+		r := ks.refs[p>>1]
+		row := int(r.Depth)
+		if !ks.mark[row] {
+			ks.mark[row] = true
+			dirty = append(dirty, int32(row))
+		}
+		wi := row*cw + int(r.Chain)>>6
+		bit := uint64(1) << uint(r.Chain&63)
+		ks.sliceCare[wi] |= bit
+		if p&1 != 0 {
+			ks.sliceValue[wi] |= bit
+		}
+	}
+	var ops int64
+	for _, row := range dirty {
+		o := int(row) * cw
+		ops += rowOps(ks.sliceCare[o:o+cw], ks.sliceValue[o:o+cw], k, groupCopy)
+	}
+	for _, row := range dirty {
+		o := int(row) * cw
+		clear(ks.sliceCare[o : o+cw])
+		clear(ks.sliceValue[o : o+cw])
+		ks.mark[row] = false
+	}
+	ks.dirty = dirty[:0]
+	return ops
+}
+
+// rowOps prices one slice row held as care/value word masks: per group
+// with t target bits, min(t, 2) codewords (or t when group-copy mode is
+// off). Targets are the care bits differing from the row's majority
+// fill. This is the mask-plane form of the legacy sorted-key sliceOps
+// and agrees with selenc.SliceCostMask minus the header.
+func rowOps(care, value []uint64, k int64, groupCopy bool) int64 {
+	careCount, ones := 0, 0
+	for i, c := range care {
+		careCount += bits.OnesCount64(c)
+		ones += bits.OnesCount64(value[i] & c)
+	}
+	if careCount == 0 {
+		return 0
+	}
+	var fillMask uint64
+	if ones*2 > careCount {
+		fillMask = ^uint64(0)
+	}
+	if !groupCopy {
+		// Without group copy every target bit is one single-bit
+		// codeword: a pure popcount.
+		var ops int64
+		for i, c := range care {
+			ops += int64(bits.OnesCount64(c & (value[i] ^ fillMask)))
+		}
+		return ops
+	}
+	var ops int64
+	group := int64(-1)
+	inGroup := 0
+	for wi, c := range care {
+		t := c & (value[wi] ^ fillMask)
+		base := wi << 6
+		for t != 0 {
+			g := int64(base+bits.TrailingZeros64(t)) / k
+			t &= t - 1
+			if g != group {
+				ops += flushGroup(inGroup, true)
+				group = g
+				inGroup = 0
+			}
+			inGroup++
+		}
+	}
+	return ops + flushGroup(inGroup, true)
+}

@@ -10,6 +10,7 @@ import (
 	"soctap/internal/selenc"
 	"soctap/internal/soc"
 	"soctap/internal/telemetry"
+	"soctap/internal/wrapper"
 )
 
 // TableOptions controls per-core lookup table construction.
@@ -29,6 +30,13 @@ type TableOptions struct {
 	// sequential), so Workers is excluded from cache keys and from the
 	// options recorded on the table.
 	Workers int
+	// DisablePruning turns off the incumbent lower-bound pruning of the
+	// banded (w, m) sweep. Pruning is exact — only provably dominated
+	// candidates are skipped and the table is bit-identical either way
+	// (see bandBounds and the golden-equivalence test) — so the knob
+	// exists for verification and benchmark comparison and, like
+	// Workers, is erased from cache keys and recorded options.
+	DisablePruning bool
 }
 
 func (o TableOptions) withDefaults() TableOptions {
@@ -47,6 +55,7 @@ func (o TableOptions) withDefaults() TableOptions {
 func (o TableOptions) normalized() TableOptions {
 	o = o.withDefaults()
 	o.Workers = 0
+	o.DisablePruning = false
 	return o
 }
 
@@ -194,17 +203,18 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 	}
 	maxM := c.MaxWrapperChains()
 
-	// Collect the TDC evaluation points: each codeword-width band
-	// contributes its sampled m values, evaluated into indexed slots and
-	// reduced in ascending-m order afterwards.
+	// Collect the TDC evaluation points: each codeword-width band is one
+	// task that sweeps its sampled m values sequentially, highest m
+	// first, pruning candidates whose lower bound is strictly worse than
+	// the band incumbent (see sweepBand). One task per band keeps both
+	// the winner and the prune counters deterministic for any worker
+	// count.
 	type bandJob struct {
 		w    int
 		ms   []int
-		cfgs []Config
+		best Config
 	}
 	var bands []bandJob
-	type tdcTask struct{ band, slot int }
-	var tdcTasks []tdcTask
 	for w := 3; w <= opts.MaxWidth; w++ {
 		lo, hi, err := selenc.MBand(w)
 		if err != nil {
@@ -216,11 +226,7 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 		if hi > maxM {
 			hi = maxM
 		}
-		ms := sampleBand(lo, hi, opts.BandSamples)
-		bands = append(bands, bandJob{w: w, ms: ms, cfgs: make([]Config, len(ms))})
-		for slot := range ms {
-			tdcTasks = append(tdcTasks, tdcTask{band: len(bands) - 1, slot: slot})
-		}
+		bands = append(bands, bandJob{w: w, ms: sampleBand(lo, hi, opts.BandSamples)})
 	}
 
 	// The no-TDC side only depends on the clamped chain count, so the
@@ -233,7 +239,12 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 	direct := make([]Config, directM+1)
 
 	tel.Counter("tables.built").Inc()
-	err := forEachEval(c, opts.Workers, directM+len(tdcTasks), tel, func(ev *Evaluator, i int) error {
+	pc := pruneCounters{
+		pruned:     tel.Counter("eval.pruned"),
+		corePruned: tel.Counter("prune." + c.Name + ".pruned"),
+		coreEvals:  tel.Counter("prune." + c.Name + ".evals"),
+	}
+	err := forEachEval(c, opts.Workers, directM+len(bands), tel, func(ev *Evaluator, i int) error {
 		if i < directM {
 			cfg, err := ev.NoTDC(i + 1)
 			if err != nil {
@@ -242,13 +253,12 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 			direct[i+1] = cfg
 			return nil
 		}
-		task := tdcTasks[i-directM]
-		b := &bands[task.band]
-		cfg, err := ev.TDC(b.ms[task.slot], true)
+		b := &bands[i-directM]
+		best, err := sweepBand(ev, b.w, b.ms, opts.DisablePruning, pc)
 		if err != nil {
 			return err
 		}
-		b.cfgs[task.slot] = cfg
+		b.best = best
 		return nil
 	})
 	if err != nil {
@@ -267,13 +277,7 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 		t.NoTDC[u] = cfg
 	}
 	for _, b := range bands {
-		best := Config{}
-		for _, cfg := range b.cfgs {
-			if cfg.better(best) {
-				best = cfg
-			}
-		}
-		t.TDCExact[b.w] = best
+		t.TDCExact[b.w] = b.best
 	}
 	for u := 1; u <= opts.MaxWidth; u++ {
 		best := Config{}
@@ -291,6 +295,119 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 		}
 	}
 	return t, nil
+}
+
+// pruneCounters carries the (nil-safe) telemetry counters of the band
+// sweep: pruned candidates globally and pruned/evaluated per core.
+type pruneCounters struct {
+	pruned     *telemetry.Counter
+	corePruned *telemetry.Counter
+	coreEvals  *telemetry.Counter
+}
+
+// sweepBand finds the best TDC configuration in one codeword-width
+// band, sweeping the sampled m values from highest to lowest. With
+// pruning enabled, each candidate is first checked against two
+// admissible lower bounds — one from the core alone (no wrapper
+// design), then one from the exact wrapper depths — and skipped when
+// the bound is already strictly lex-worse (time, then volume) than the
+// incumbent.
+//
+// The result is identical to evaluating every candidate: both bounds
+// are true lower bounds on (time, volume), so a pruned candidate's
+// actual cost is strictly worse than the incumbent and can never be the
+// band winner; lex-equal candidates are never pruned (their bound is
+// not strictly worse) and ties resolve to the smallest m exactly as an
+// ascending first-win reduction would.
+func sweepBand(ev *Evaluator, w int, ms []int, disablePruning bool, pc pruneCounters) (Config, error) {
+	var best Config
+	for i := len(ms) - 1; i >= 0; i-- {
+		m := ms[i]
+		if best.Feasible && !disablePruning {
+			if bt, bv := coreBound(ev, m, w); boundWorse(bt, bv, best) {
+				pc.pruned.Inc()
+				pc.corePruned.Inc()
+				continue
+			}
+			d, err := ev.Design(m)
+			if err != nil {
+				return Config{}, err
+			}
+			if bt, bv := designBound(ev, d, w); boundWorse(bt, bv, best) {
+				pc.pruned.Inc()
+				pc.corePruned.Inc()
+				continue
+			}
+		}
+		cfg, err := ev.TDC(m, true)
+		if err != nil {
+			return Config{}, err
+		}
+		pc.coreEvals.Inc()
+		// Replace on lex-<=: at equal (time, volume) the smaller m wins,
+		// matching the ascending-order reduction.
+		if !best.better(cfg) {
+			best = cfg
+		}
+	}
+	return best, nil
+}
+
+// boundWorse reports whether a (time, volume) lower bound is strictly
+// lex-worse than the incumbent — the pruning condition.
+func boundWorse(bt, bv int64, best Config) bool {
+	return bt > best.Time || (bt == best.Time && bv > best.Volume)
+}
+
+// coreBound is an admissible (time, volume) lower bound for the TDC
+// configuration at m wrapper chains, computed from the core alone:
+//
+//	si >= max(longest scan chain, ceil(stimulus bits / m))
+//	so >= max(longest scan chain, ceil(response bits / m))
+//
+// (any wrapper chain holding the longest internal scan chain is at
+// least that deep, and m chains must share all cells), and then
+//
+//	τ = cw_1 + Σ_{j>1} max(cw_j, so) + p + so >= si + (p-1)·max(si,so) + p + so
+//	V = totalCW·w               >= p·si·w
+//
+// since every pattern emits at least one codeword per scan-in slice
+// (the slice headers).
+func coreBound(ev *Evaluator, m, w int) (timeLB, volLB int64) {
+	c := ev.core
+	maxScan := 0
+	for _, l := range c.ScanChains {
+		if l > maxScan {
+			maxScan = l
+		}
+	}
+	si := (c.StimulusBits() + m - 1) / m
+	if maxScan > si {
+		si = maxScan
+	}
+	so := (c.ResponseBits() + m - 1) / m
+	if maxScan > so {
+		so = maxScan
+	}
+	return slicesBound(ev.ts.Len(), int64(si), int64(so), int64(w))
+}
+
+// designBound is coreBound with the exact scan-in/scan-out depths of a
+// built wrapper design — tighter, at the price of the design itself.
+func designBound(ev *Evaluator, d *wrapper.Design, w int) (timeLB, volLB int64) {
+	return slicesBound(ev.ts.Len(), int64(d.ScanIn), int64(d.ScanOut), int64(w))
+}
+
+func slicesBound(p int, si, so, w int64) (timeLB, volLB int64) {
+	timeLB = int64(p) + so
+	if p >= 1 {
+		maxL := si
+		if so > maxL {
+			maxL = so
+		}
+		timeLB += si + int64(p-1)*maxL
+	}
+	return timeLB, int64(p) * si * w
 }
 
 // sampleBand returns the m values to evaluate in [lo, hi]: exhaustive

@@ -326,3 +326,41 @@ func TestBuildTableErrors(t *testing.T) {
 		t.Error("invalid core accepted")
 	}
 }
+
+// TestBuildTablePruningGoldenEquivalence is the zero-loss guarantee of
+// the lower-bound pruning: for every d695 and industrial core, the
+// table built with pruning must be deeply equal to the table built
+// without it, whether the sweep runs sequentially or on 8 workers.
+// Industrial cores use a reduced band sampling so the full matrix stays
+// tractable under -race; d695 cores run with the default options.
+func TestBuildTablePruningGoldenEquivalence(t *testing.T) {
+	type tc struct {
+		core *soc.Core
+		opts TableOptions
+	}
+	var cases []tc
+	for _, c := range soc.D695().Cores {
+		cases = append(cases, tc{c, TableOptions{}})
+	}
+	for _, name := range soc.IndustrialCoreNames() {
+		cases = append(cases, tc{soc.MustIndustrialCore(name), TableOptions{BandSamples: 12}})
+	}
+	for _, cse := range cases {
+		for _, workers := range []int{1, 8} {
+			opts := cse.opts
+			opts.Workers = workers
+			pruned, err := BuildTable(cse.core, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.DisablePruning = true
+			plain, err := BuildTable(cse.core, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pruned, plain) {
+				t.Errorf("%s workers=%d: pruned table differs from unpruned", cse.core.Name, workers)
+			}
+		}
+	}
+}

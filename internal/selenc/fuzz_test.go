@@ -69,6 +69,21 @@ func FuzzEncodeDecodeRoundTrip(f *testing.F) {
 		if len(cws) != SliceCost(m, care) {
 			t.Fatal("cost model diverged from encoder")
 		}
+		// The mask kernels must agree with the legacy care-bit path on
+		// arbitrary slices: same cost, same codeword stream.
+		careW, valueW := SliceMasks(m, care)
+		if got := SliceCostMask(m, careW, valueW); got != len(cws) {
+			t.Fatalf("SliceCostMask = %d, legacy SliceCost = %d", got, len(cws))
+		}
+		maskCws := EncodeSliceMask(m, careW, valueW)
+		if len(maskCws) != len(cws) {
+			t.Fatalf("EncodeSliceMask emitted %d codewords, legacy %d", len(maskCws), len(cws))
+		}
+		for i := range cws {
+			if maskCws[i] != cws[i] {
+				t.Fatalf("codeword %d: mask %+v, legacy %+v", i, maskCws[i], cws[i])
+			}
+		}
 		slices, err := DecodeStream(m, cws)
 		if err != nil || len(slices) != 1 {
 			t.Fatalf("decode failed: %v", err)

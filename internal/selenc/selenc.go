@@ -271,9 +271,11 @@ func DecodeStream(m int, stream []Codeword) ([]*bitvec.Vector, error) {
 				return nil, fmt.Errorf("selenc: codeword %d: stray data codeword", i)
 			}
 			base := pendingGroup * k
-			for b := 0; b < k && base+b < m; b++ {
-				cur.Set(base+b, cw.Payload&(1<<uint(b)) != 0)
+			width := k
+			if m-base < width {
+				width = m - base
 			}
+			cur.WriteBits(base, uint64(cw.Payload), width)
 			pendingGroup = -1
 		default:
 			return nil, fmt.Errorf("selenc: codeword %d: invalid prefix %d", i, cw.Prefix)
@@ -293,19 +295,9 @@ func PackStream(m int, stream []Codeword) *bitvec.Vector {
 	k := PayloadBits(m)
 	w := k + 2
 	v := bitvec.New(len(stream) * w)
-	for i, cw := range stream {
-		base := i * w
-		if cw.Prefix&1 != 0 {
-			v.Set(base, true)
-		}
-		if cw.Prefix&2 != 0 {
-			v.Set(base+1, true)
-		}
-		for b := 0; b < k; b++ {
-			if cw.Payload&(1<<uint(b)) != 0 {
-				v.Set(base+2+b, true)
-			}
-		}
+	wr := bitvec.NewWriter(v.Words())
+	for _, cw := range stream {
+		wr.AppendBits(uint64(cw.Prefix)|uint64(cw.Payload)<<2, w)
 	}
 	return v
 }
@@ -320,20 +312,8 @@ func UnpackStream(m int, v *bitvec.Vector) ([]Codeword, error) {
 	}
 	out := make([]Codeword, v.Len()/w)
 	for i := range out {
-		base := i * w
-		var cw Codeword
-		if v.Get(base) {
-			cw.Prefix |= 1
-		}
-		if v.Get(base + 1) {
-			cw.Prefix |= 2
-		}
-		for b := 0; b < k; b++ {
-			if v.Get(base + 2 + b) {
-				cw.Payload |= 1 << uint(b)
-			}
-		}
-		out[i] = cw
+		raw := v.ReadBits(i*w, w)
+		out[i] = Codeword{Prefix: uint8(raw & 3), Payload: uint32(raw >> 2)}
 	}
 	return out, nil
 }

@@ -73,6 +73,73 @@ func snapSpans(sp *Span) []SpanSnap {
 	return out
 }
 
+// pruneRow is one line of the pruning-rate table: how many (w, m)
+// candidates of one core's sweep were skipped by the lower bound.
+type pruneRow struct {
+	core   string
+	pruned int64
+	evals  int64
+	rate   float64
+}
+
+// pruningRates extracts per-core pruning effectiveness from the
+// `prune.<core>.pruned` / `prune.<core>.evals` counter pairs, plus an
+// overall row when more than one core reported. Rows are sorted by
+// core name; the rate is pruned / (pruned + evaluated) — the fraction
+// of sweep candidates that never reached the cost kernel.
+func (sn *Snapshot) pruningRates() []pruneRow {
+	per := map[string]*pruneRow{}
+	for name, v := range sn.Counters {
+		rest, ok := strings.CutPrefix(name, "prune.")
+		if !ok {
+			continue
+		}
+		var field *int64
+		var core string
+		if c, ok2 := strings.CutSuffix(rest, ".pruned"); ok2 {
+			core = c
+		} else if c, ok2 := strings.CutSuffix(rest, ".evals"); ok2 {
+			core = c
+		} else {
+			continue
+		}
+		r := per[core]
+		if r == nil {
+			r = &pruneRow{core: core}
+			per[core] = r
+		}
+		if strings.HasSuffix(name, ".pruned") {
+			field = &r.pruned
+		} else {
+			field = &r.evals
+		}
+		*field = v
+	}
+	if len(per) == 0 {
+		return nil
+	}
+	rows := make([]pruneRow, 0, len(per)+1)
+	for _, r := range per {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].core < rows[j].core })
+	if len(rows) > 1 {
+		var all pruneRow
+		all.core = "(all cores)"
+		for _, r := range rows {
+			all.pruned += r.pruned
+			all.evals += r.evals
+		}
+		rows = append(rows, all)
+	}
+	for i := range rows {
+		if total := rows[i].pruned + rows[i].evals; total > 0 {
+			rows[i].rate = float64(rows[i].pruned) / float64(total)
+		}
+	}
+	return rows
+}
+
 // WriteJSON writes the snapshot as indented JSON. encoding/json sorts
 // map keys, so the byte layout is stable run to run (timing values
 // aside) — diffable and machine-consumable.
@@ -134,6 +201,18 @@ func (sn *Snapshot) Render(w io.Writer) error {
 		tab := report.NewTable("\ncounters", "counter", "value")
 		for _, n := range names {
 			tab.Add(n, fmt.Sprint(sn.Counters[n]))
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if rows := sn.pruningRates(); len(rows) > 0 {
+		tab := report.NewTable("\nsweep pruning (candidates skipped by lower bound)",
+			"core", "pruned", "evaluated", "rate")
+		for _, r := range rows {
+			tab.Add(r.core, fmt.Sprint(r.pruned), fmt.Sprint(r.evals),
+				fmt.Sprintf("%.1f%%", r.rate*100))
 		}
 		if err := tab.Render(w); err != nil {
 			return err

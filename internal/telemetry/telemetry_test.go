@@ -263,3 +263,34 @@ func TestStartProfiles(t *testing.T) {
 		}
 	}
 }
+
+// TestRenderPruningRates: the snapshot text report surfaces per-core
+// sweep pruning effectiveness from the prune.<core>.* counter pairs,
+// with an aggregate row when several cores reported.
+func TestRenderPruningRates(t *testing.T) {
+	s := New()
+	s.Counter("prune.cktA.pruned").Add(30)
+	s.Counter("prune.cktA.evals").Add(70)
+	s.Counter("prune.cktB.pruned").Add(0)
+	s.Counter("prune.cktB.evals").Add(50)
+	s.Counter("eval.tdc_evals").Add(120) // must not produce a row
+	var buf bytes.Buffer
+	if err := s.Snapshot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sweep pruning", "cktA", "30.0%", "cktB", "0.0%", "(all cores)", "20.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, out)
+		}
+	}
+
+	// No pruning counters at all: no section.
+	var empty bytes.Buffer
+	if err := New().Snapshot().Render(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "sweep pruning") {
+		t.Fatal("pruning section rendered without pruning counters")
+	}
+}

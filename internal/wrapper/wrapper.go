@@ -12,9 +12,8 @@
 package wrapper
 
 import (
-	"container/heap"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"soctap/internal/soc"
@@ -47,6 +46,9 @@ type Design struct {
 
 	refsOnce sync.Once
 	refs     []CellRef
+
+	segsOnce sync.Once
+	segs     []StimulusSegment
 }
 
 // New builds a wrapper design with m wrapper chains using best-fit-
@@ -70,22 +72,27 @@ func New(core *soc.Core, m int) (*Design, error) {
 	for i, l := range core.ScanChains {
 		scs[i] = sc{i, l}
 	}
-	sort.Slice(scs, func(i, j int) bool {
-		if scs[i].len != scs[j].len {
-			return scs[i].len > scs[j].len
+	slices.SortFunc(scs, func(a, b sc) int {
+		if a.len != b.len {
+			return b.len - a.len
 		}
-		return scs[i].idx < scs[j].idx
+		return a.idx - b.idx
 	})
-	h := &chainHeap{}
-	for i := 0; i < m; i++ {
-		heap.Push(h, chainLoad{chain: i, load: 0})
+	// Min-load priority queue as a plain typed heap. The (load, chain)
+	// order is a strict total order, so the popped minimum is unique at
+	// every step and the assignment matches any correct heap
+	// implementation. chain i starts at slot i with load 0, which is
+	// already a valid min-heap.
+	h := make(loadHeap, m)
+	for i := range h {
+		h[i].chain = i
 	}
 	for _, s := range scs {
-		cl := heap.Pop(h).(chainLoad)
+		cl := h[0]
 		d.Chains[cl.chain].ScanChains = append(d.Chains[cl.chain].ScanChains, s.idx)
 		d.Chains[cl.chain].ScanLen += s.len
-		cl.load += s.len
-		heap.Push(h, cl)
+		h[0].load += s.len
+		h.siftDown(0)
 	}
 
 	// Step 2: water-fill wrapper input cells over scan-in heights.
@@ -117,26 +124,38 @@ func New(core *soc.Core, m int) (*Design, error) {
 	return d, nil
 }
 
-// chainLoad/chainHeap implement the BFD min-load priority queue.
+// chainLoad/loadHeap implement the BFD min-load priority queue without
+// container/heap, whose interface{}-based Push/Pop would box a
+// chainLoad on every scan-chain placement and dominate the allocation
+// profile of the (w,m) sweep.
 type chainLoad struct{ chain, load int }
 
-type chainHeap []chainLoad
+type loadHeap []chainLoad
 
-func (h chainHeap) Len() int { return len(h) }
-func (h chainHeap) Less(i, j int) bool {
+func (h loadHeap) less(i, j int) bool {
 	if h[i].load != h[j].load {
 		return h[i].load < h[j].load
 	}
 	return h[i].chain < h[j].chain
 }
-func (h chainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *chainHeap) Push(x interface{}) { *h = append(*h, x.(chainLoad)) }
-func (h *chainHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// siftDown restores the heap property after h[i]'s key increased.
+func (h loadHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		min := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			min = r
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // waterFill distributes n unit cells over bins with the given initial
@@ -151,11 +170,11 @@ func waterFill(heights []int, n int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if heights[idx[a]] != heights[idx[b]] {
-			return heights[idx[a]] < heights[idx[b]]
+	slices.SortFunc(idx, func(a, b int) int {
+		if heights[a] != heights[b] {
+			return heights[a] - heights[b]
 		}
-		return idx[a] < idx[b]
+		return a - b
 	})
 
 	// Raise a waterline over the sorted bins: absorb whole tiers while
@@ -260,4 +279,59 @@ func (d *Design) buildStimulusMap() []CellRef {
 		}
 	}
 	return refs
+}
+
+// StimulusSegment is a maximal run of flat stimulus cells that land on
+// one wrapper chain at consecutive depths: flat cells
+// [FlatStart, FlatStart+Len) map to chain Chain at depths
+// [DepthStart, DepthStart+Len). The whole stimulus map decomposes into
+// one segment per chain's input-cell prefix plus one per internal scan
+// chain, so bulk bit-copies can replace per-cell CellRef walks.
+type StimulusSegment struct {
+	FlatStart  int
+	Chain      int
+	DepthStart int
+	Len        int
+}
+
+// StimulusSegments returns the segment decomposition of StimulusMap,
+// ordered by FlatStart. Like StimulusMap it is computed once and shared;
+// callers must treat it as read-only.
+func (d *Design) StimulusSegments() []StimulusSegment {
+	d.segsOnce.Do(func() { d.segs = d.buildStimulusSegments() })
+	return d.segs
+}
+
+func (d *Design) buildStimulusSegments() []StimulusSegment {
+	segs := make([]StimulusSegment, 0, len(d.Chains)+len(d.Core.ScanChains))
+
+	flat := 0
+	for ci := range d.Chains {
+		if n := d.Chains[ci].InCells; n > 0 {
+			segs = append(segs, StimulusSegment{FlatStart: flat, Chain: ci, DepthStart: 0, Len: n})
+			flat += n
+		}
+	}
+
+	scanFlatStart := make([]int, len(d.Core.ScanChains))
+	off := d.Core.InCells()
+	for i, l := range d.Core.ScanChains {
+		scanFlatStart[i] = off
+		off += l
+	}
+	type chainSeg struct{ flatStart, chain, depthStart, length int }
+	var scanSegs []chainSeg
+	for ci := range d.Chains {
+		depth := d.Chains[ci].InCells
+		for _, scIdx := range d.Chains[ci].ScanChains {
+			l := d.Core.ScanChains[scIdx]
+			scanSegs = append(scanSegs, chainSeg{scanFlatStart[scIdx], ci, depth, l})
+			depth += l
+		}
+	}
+	slices.SortFunc(scanSegs, func(a, b chainSeg) int { return a.flatStart - b.flatStart })
+	for _, s := range scanSegs {
+		segs = append(segs, StimulusSegment{FlatStart: s.flatStart, Chain: s.chain, DepthStart: s.depthStart, Len: s.length})
+	}
+	return segs
 }
