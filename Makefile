@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead kernel-equivalence
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead kernel-equivalence robustness
 
 # check is the tier-1 gate: everything must pass before a change lands.
 # A PR that touches the kernels or the sweep should also refresh the
 # dated benchmark archive with `make bench-json` and note the numbers.
-check: vet build test race bench-smoke telemetry-overhead kernel-equivalence
+check: vet build test race bench-smoke telemetry-overhead kernel-equivalence robustness
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,16 @@ kernel-equivalence:
 	$(GO) test -run 'TestKernelPathsAgree|TestKernelSteadyStateZeroAlloc|TestBuildTablePruningGoldenEquivalence|TestEvalTDCMatchesRealEncoder' -count=1 ./internal/core
 	$(GO) test -run 'FuzzWordKernels' -count=1 ./internal/bitvec
 	$(GO) test -run 'FuzzEncodeDecodeRoundTrip|FuzzDecodeStream' -count=1 ./internal/selenc
+
+# robustness asserts the failure-model contracts under the race
+# detector with a tight timeout: the singleflight deadlock regression
+# (a poisoned cache entry would hang here, not pass), panic containment
+# at the core package boundary, prompt cancellation with no goroutine
+# leaks, bit-identical results through the context-threaded entry
+# points, disk-store fault injection, and malformed-design rejection.
+robustness:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestCacheGetPanicNoDeadlock|TestCacheWaiterCancelPromptly|TestCacheDeterministicErrorCached|TestForEachEvalPanicContained|TestBuildTableContextCancelled|TestSweepTDCContextCancelled|TestOptimizeCancelMidRun|TestOptimizeContextMatchesOptimize|TestStoreDiskTableFaultInjection|TestDiskCacheShortEntryIsCorrupt' ./internal/core
+	$(GO) test -race -count=1 -timeout 60s -run 'TestParseRejectsMalformedDesigns|TestValidateStructuralBounds|TestMalformedDesignNeverReachesKernels' ./internal/soc
 
 # telemetry-overhead asserts the zero-overhead-when-disabled contract:
 # the instrumented-but-disabled kernel and makespan paths must run at 0

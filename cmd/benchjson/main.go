@@ -11,12 +11,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 )
 
@@ -44,10 +47,20 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
+	// benchjson usually sits at the end of a pipe from a long `go test
+	// -bench` run; SIGINT/SIGTERM abort the scan between lines instead
+	// of leaving a truncated report behind.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	rep := Report{Date: time.Now().UTC().Format("2006-01-02")}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: interrupted:", ctx.Err())
+			os.Exit(130)
+		}
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, "goos: "):

@@ -24,11 +24,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"soctap/internal/experiments"
@@ -72,6 +76,19 @@ func main() {
 		experiments.SetTableCacheDir(*tableCache)
 	}
 
+	// SIGINT/SIGTERM cancel the experiment run cooperatively: in-flight
+	// Optimize/BuildTable calls unwind with ctx.Err(), the telemetry
+	// snapshot gathered so far is still flushed (with a run.cancelled
+	// marker), and the exit code is non-zero. A second signal kills the
+	// process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	experiments.SetContext(ctx)
+
 	stopProfiles, err := telemetry.StartProfiles(*cpuProfile, *memProfile, *traceOut)
 	if err != nil {
 		fatal(err)
@@ -113,11 +130,14 @@ func main() {
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
-	if err != nil {
-		fatal(err)
+	cancelled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if cancelled {
+		sink.Counter("run.cancelled").Inc()
 	}
 
-	if sink != nil {
+	// Flush the snapshot before judging err: an interrupted run still
+	// produces its (marked) report of the work completed so far.
+	if sink != nil && (err == nil || cancelled) {
 		sn := sink.Snapshot()
 		if *telemetryOut != "" {
 			tw := os.Stdout
@@ -138,6 +158,13 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if cancelled {
+		fmt.Fprintln(os.Stderr, "repro: interrupted:", err)
+		os.Exit(130)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

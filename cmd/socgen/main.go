@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"soctap/internal/soc"
 )
@@ -31,7 +35,21 @@ func main() {
 	if *nCores < 1 {
 		fatal(fmt.Errorf("need at least one core"))
 	}
-	s, err := generate(*name, *profile, *nCores, *seed)
+
+	// SIGINT/SIGTERM abort generation between cores; a second signal
+	// kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	s, err := generate(ctx, *name, *profile, *nCores, *seed)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "socgen: interrupted:", err)
+		os.Exit(130)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -56,10 +74,13 @@ func fatal(err error) {
 }
 
 // generate draws nCores random cores of the requested profile.
-func generate(name, profile string, nCores int, seed int64) (*soc.SOC, error) {
+func generate(ctx context.Context, name, profile string, nCores int, seed int64) (*soc.SOC, error) {
 	rng := rand.New(rand.NewSource(seed))
 	s := &soc.SOC{Name: name}
 	for i := 0; i < nCores; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var c *soc.Core
 		switch profile {
 		case "industrial":

@@ -2,17 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"soctap/internal/soc"
 )
 
 func TestGenerateDeterministic(t *testing.T) {
-	a, err := generate("x", "industrial", 4, 9)
+	a, err := generate(context.Background(), "x", "industrial", 4, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := generate("x", "industrial", 4, 9)
+	b, err := generate(context.Background(), "x", "industrial", 4, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	if ba.String() != bb.String() {
 		t.Error("same seed produced different designs")
 	}
-	c, _ := generate("x", "industrial", 4, 10)
+	c, _ := generate(context.Background(), "x", "industrial", 4, 10)
 	var bc bytes.Buffer
 	soc.Write(&bc, c)
 	if ba.String() == bc.String() {
@@ -35,7 +36,7 @@ func TestGenerateDeterministic(t *testing.T) {
 }
 
 func TestGenerateProfiles(t *testing.T) {
-	ind, err := generate("i", "industrial", 3, 1)
+	ind, err := generate(context.Background(), "i", "industrial", 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestGenerateProfiles(t *testing.T) {
 			t.Errorf("industrial core %s has only %d chains", c.Name, len(c.ScanChains))
 		}
 	}
-	isc, err := generate("s", "iscas", 3, 1)
+	isc, err := generate(context.Background(), "s", "iscas", 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,14 +57,14 @@ func TestGenerateProfiles(t *testing.T) {
 			t.Errorf("iscas core %s density %g too low", c.Name, c.CareDensity)
 		}
 	}
-	if _, err := generate("b", "bogus", 2, 1); err == nil {
+	if _, err := generate(context.Background(), "b", "bogus", 2, 1); err == nil {
 		t.Error("unknown profile accepted")
 	}
 }
 
 func TestGeneratedDesignsAreUsable(t *testing.T) {
 	// Generated designs must round-trip and validate.
-	s, err := generate("g", "industrial", 2, 33)
+	s, err := generate(context.Background(), "g", "industrial", 2, 33)
 	if err != nil {
 		t.Fatal(err)
 	}

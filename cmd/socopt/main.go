@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"soctap/internal/ate"
 	"soctap/internal/core"
@@ -51,6 +55,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel the run cooperatively: the search unwinds
+	// with ctx.Err(), the telemetry snapshot is still flushed (with a
+	// run.cancelled marker), and the exit code is non-zero. A second
+	// signal kills the process immediately (stop() restores the default
+	// handlers once the first one lands).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	stopProfiles, err := telemetry.StartProfiles(*cpuProfile, *memProfile, *traceOut)
 	if err != nil {
 		fatal(err)
@@ -58,6 +74,17 @@ func main() {
 	var sink *telemetry.Sink
 	if *telemetryOut != "" || *telemetryText {
 		sink = telemetry.New()
+	}
+	// fail is fatal plus the interrupted-run epilogue: cancelled runs
+	// mark and flush the telemetry snapshot before exiting 130.
+	fail := func(err error) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			sink.Counter("run.cancelled").Inc()
+			writeTelemetry(sink, *telemetryOut, *telemetryText)
+			fmt.Fprintln(os.Stderr, "socopt: interrupted:", err)
+			os.Exit(130)
+		}
+		fatal(err)
 	}
 
 	pt := sink.Span("parse").Begin()
@@ -71,7 +98,7 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := core.Optimize(s, *width, core.Options{
+	res, err := core.OptimizeContext(ctx, s, *width, core.Options{
 		Style:      style,
 		MaxTAMs:    *maxTAMs,
 		Tables:     core.TableOptions{BandSamples: *bandSamples},
@@ -82,7 +109,7 @@ func main() {
 		Telemetry:     sink.Root(),
 	})
 	if err != nil {
-		fatal(err)
+		fail(err)
 	}
 	printResult(res, ate.Tester{Channels: *width, MemoryDepth: *ateDepth, FreqMHz: *ateFreq})
 
@@ -129,26 +156,35 @@ func main() {
 	if err := stopProfiles(); err != nil {
 		fatal(err)
 	}
-	if sink != nil {
-		sn := sink.Snapshot()
-		if *telemetryOut != "" {
-			w := os.Stdout
-			if *telemetryOut != "-" {
-				f, err := os.Create(*telemetryOut)
-				if err != nil {
-					fatal(err)
-				}
-				defer f.Close()
-				w = f
-			}
-			if err := sn.WriteJSON(w); err != nil {
+	writeTelemetry(sink, *telemetryOut, *telemetryText)
+}
+
+// writeTelemetry flushes the telemetry snapshot to the -telemetry file
+// and/or as -telemetry-text on stderr. A nil sink is a no-op. It is
+// called on the success path and on interruption, so a cancelled run
+// still produces its (marked) run report.
+func writeTelemetry(sink *telemetry.Sink, out string, text bool) {
+	if sink == nil {
+		return
+	}
+	sn := sink.Snapshot()
+	if out != "" {
+		w := os.Stdout
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
 				fatal(err)
 			}
+			defer f.Close()
+			w = f
 		}
-		if *telemetryText {
-			if err := sn.Render(os.Stderr); err != nil {
-				fatal(err)
-			}
+		if err := sn.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+	}
+	if text {
+		if err := sn.Render(os.Stderr); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -9,8 +9,9 @@ package core
 //
 // Format: each entry is a file <dir>/<key>.table holding a gob-encoded
 // diskEntry whose Version field ties it to this code revision. Writes go
-// through a temp file in the same directory followed by an atomic
-// rename, so a concurrent reader never observes a half-written entry.
+// through a temp file in the same directory — synced before an atomic
+// rename, with the directory synced after — so neither a concurrent
+// reader nor a crash mid-write can observe a half-written entry.
 // Readers treat every failure — missing file, truncation, garbage,
 // version or key mismatch, shape mismatch — as a cache miss: the table
 // is rebuilt and the entry rewritten, never trusted, and corruption
@@ -100,11 +101,33 @@ func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (t *Table, s
 	}, diskHit, nil
 }
 
-// storeDiskTable writes the entry for key atomically (temp file +
-// rename). Errors are returned for tests but callers treat the store as
-// best-effort: a failed write only costs a rebuild next run.
+// diskFault, when non-nil, injects a failure before the named stage of
+// storeDiskTable ("create", "write", "sync", "close", "rename",
+// "dirsync") — the fault-injection seam of the crash-safety tests. Set
+// it only from tests, before concurrent use, and restore it to nil.
+var diskFault func(stage string) error
+
+// faultAt consults the fault-injection seam; the nil default is free.
+func faultAt(stage string) error {
+	if diskFault == nil {
+		return nil
+	}
+	return diskFault(stage)
+}
+
+// storeDiskTable writes the entry for key crash-safely: temp file in
+// the same directory, fsync of the file data, atomic rename, then
+// fsync of the directory. The file sync before the rename is what
+// keeps a power cut from publishing a truncated entry under the final
+// name — without it the rename can be durable while the data is not —
+// and the directory sync makes the publication itself durable. Errors
+// are returned for tests but callers treat the store as best-effort: a
+// failed write only costs a rebuild next run.
 func storeDiskTable(dir, key string, t *Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := faultAt("create"); err != nil {
 		return err
 	}
 	tmp, err := os.CreateTemp(dir, ".tmp-"+key+"-*")
@@ -121,12 +144,48 @@ func storeDiskTable(dir, key string, t *Table) error {
 		TDCBest:  t.TDCBest,
 		Best:     t.Best,
 	}
+	if err := faultAt("write"); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := gob.NewEncoder(tmp).Encode(&e); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := faultAt("sync"); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := faultAt("close"); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), diskPath(dir, key))
+	if err := faultAt("rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), diskPath(dir, key)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the cache directory so a just-renamed entry's
+// directory record is durable.
+func syncDir(dir string) error {
+	if err := faultAt("dirsync"); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }

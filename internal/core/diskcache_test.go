@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -181,7 +182,7 @@ func TestDiskCacheCorruptionTelemetry(t *testing.T) {
 	cold := telemetry.New()
 	var warm Cache
 	warm.SetDir(dir)
-	if _, err := warm.get(c, opts, cold); err != nil {
+	if _, err := warm.get(context.Background(), c, opts, cold); err != nil {
 		t.Fatal(err)
 	}
 	cn := cold.Snapshot().Counters
@@ -193,7 +194,7 @@ func TestDiskCacheCorruptionTelemetry(t *testing.T) {
 	hit := telemetry.New()
 	var second Cache
 	second.SetDir(dir)
-	if _, err := second.get(compressibleCore(14), opts, hit); err != nil {
+	if _, err := second.get(context.Background(), compressibleCore(14), opts, hit); err != nil {
 		t.Fatal(err)
 	}
 	hn := hit.Snapshot().Counters
@@ -215,7 +216,7 @@ func TestDiskCacheCorruptionTelemetry(t *testing.T) {
 	var third Cache
 	third.SetDir(dir)
 	third.SetWarn(func(msg string) { warnings = append(warnings, msg) })
-	if _, err := third.get(compressibleCore(14), opts, corrupt); err != nil {
+	if _, err := third.get(context.Background(), compressibleCore(14), opts, corrupt); err != nil {
 		t.Fatal(err)
 	}
 	kn := corrupt.Snapshot().Counters
@@ -234,7 +235,7 @@ func TestDiskCacheCorruptionTelemetry(t *testing.T) {
 	again := telemetry.New()
 	var fourth Cache
 	fourth.SetDir(dir)
-	if _, err := fourth.get(compressibleCore(14), opts, again); err != nil {
+	if _, err := fourth.get(context.Background(), compressibleCore(14), opts, again); err != nil {
 		t.Fatal(err)
 	}
 	if an := again.Snapshot().Counters; an["diskcache.hits"] != 1 {

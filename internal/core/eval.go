@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+
 	"soctap/internal/cube"
 	"soctap/internal/selenc"
 	"soctap/internal/soc"
@@ -78,6 +80,12 @@ type Evaluator struct {
 	// is attached. Counts are deterministic: one per evaluated config.
 	tdcEvals   *telemetry.Counter
 	noTDCEvals *telemetry.Counter
+
+	// ctx, when non-nil, is checked at every kernel entry so a cancelled
+	// sweep aborts at (w, m)-point granularity. Only cancellable contexts
+	// are stored (bindContext), keeping the common Background case a
+	// single nil comparison on the hot path.
+	ctx context.Context
 }
 
 // attachTelemetry resolves the evaluator's kernel counters from the
@@ -85,6 +93,24 @@ type Evaluator struct {
 func (e *Evaluator) attachTelemetry(tel *telemetry.Sink) {
 	e.tdcEvals = tel.Counter("eval.tdc_evals")
 	e.noTDCEvals = tel.Counter("eval.notdc_evals")
+}
+
+// bindContext arms the evaluator's per-kernel cancellation checkpoint.
+// Contexts that can never be cancelled (Background, TODO, nil) are not
+// stored, so unbound evaluators pay nothing.
+func (e *Evaluator) bindContext(ctx context.Context) {
+	if ctx != nil && ctx.Done() != nil {
+		e.ctx = ctx
+	}
+}
+
+// checkpoint returns the bound context's error, if any — the
+// cooperative cancellation point of the evaluation kernels.
+func (e *Evaluator) checkpoint() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // NewEvaluator prepares an evaluator for the core, generating (and
@@ -139,6 +165,9 @@ func (e *Evaluator) Design(m int) (*wrapper.Design, error) {
 // wrapper chain per wire, no compression): the classic
 // τ = (1 + max(si,so))·p + min(si,so) regime.
 func (e *Evaluator) NoTDC(m int) (Config, error) {
+	if err := e.checkpoint(); err != nil {
+		return Config{}, err
+	}
 	d, err := e.Design(m)
 	if err != nil {
 		return Config{}, err
@@ -166,6 +195,9 @@ func (e *Evaluator) NoTDC(m int) (Config, error) {
 // groupCopy disables the codec's group-copy mode when false (the
 // ablation knob for the two-mode design choice).
 func (e *Evaluator) TDC(m int, groupCopy bool) (Config, error) {
+	if err := e.checkpoint(); err != nil {
+		return Config{}, err
+	}
 	d, err := e.Design(m)
 	if err != nil {
 		return Config{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -82,11 +83,30 @@ func resolveWorkers(workers, tasks int) int {
 // workers <= 1 everything runs on the calling goroutine. The first
 // error (by task index) is returned. A non-nil tel attaches kernel
 // counters to every evaluator and accounts worker-slot busy time.
-func forEachEval(c *soc.Core, workers, n int, tel *telemetry.Sink, fn func(ev *Evaluator, i int) error) error {
+//
+// ctx cancels the pool cooperatively: workers stop claiming tasks once
+// ctx is done and the evaluators themselves check the context at every
+// (w, m) kernel entry, so cancellation lands mid-band too. A panic in
+// fn is contained on the worker that raised it and surfaces as a
+// *PanicError naming point(i) — never as a process crash.
+func forEachEval(ctx context.Context, c *soc.Core, workers, n int, tel *telemetry.Sink, point func(i int) string, fn func(ev *Evaluator, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	busy := tel.Timer("eval.worker_busy")
+	run := func(ev *Evaluator, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				tel.Counter("panic.recovered").Inc()
+				p := fmt.Sprintf("task %d", i)
+				if point != nil {
+					p = point(i)
+				}
+				err = newPanicError(c.Name, p, r)
+			}
+		}()
+		return fn(ev, i)
+	}
 	workers = resolveWorkers(workers, n)
 	if workers == 1 {
 		ev, err := NewEvaluator(c)
@@ -94,12 +114,16 @@ func forEachEval(c *soc.Core, workers, n int, tel *telemetry.Sink, fn func(ev *E
 			return err
 		}
 		ev.attachTelemetry(tel)
+		ev.bindContext(ctx)
 		if busy != nil {
 			t0 := time.Now()
 			defer func() { busy.Add(time.Since(t0)) }()
 		}
 		for i := 0; i < n; i++ {
-			if err := fn(ev, i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(ev, i); err != nil {
 				return err
 			}
 		}
@@ -116,6 +140,16 @@ func forEachEval(c *soc.Core, workers, n int, tel *telemetry.Sink, fn func(ev *E
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Backstop for panics outside run's own recovery (evaluator
+			// construction, point): a panic on a worker goroutine that
+			// escaped would kill the process, not just the call.
+			defer func() {
+				if r := recover(); r != nil {
+					tel.Counter("panic.recovered").Inc()
+					initOnce.Do(func() { initErr = newPanicError(c.Name, "worker setup", r) })
+					failed.Store(true)
+				}
+			}()
 			if busy != nil {
 				t0 := time.Now()
 				defer func() { busy.Add(time.Since(t0)) }()
@@ -127,12 +161,16 @@ func forEachEval(c *soc.Core, workers, n int, tel *telemetry.Sink, fn func(ev *E
 				return
 			}
 			ev.attachTelemetry(tel)
+			ev.bindContext(ctx)
 			for !failed.Load() {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(ev, i); err != nil {
+				if err := run(ev, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 					return
@@ -145,6 +183,9 @@ func forEachEval(c *soc.Core, workers, n int, tel *telemetry.Sink, fn func(ev *E
 		if err != nil {
 			return err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return initErr
 }
@@ -177,16 +218,31 @@ type Table struct {
 // over Opts.Workers goroutines; the result is bit-identical to a
 // sequential build.
 func BuildTable(c *soc.Core, opts TableOptions) (*Table, error) {
-	return buildTable(c, opts, nil)
+	return buildTable(context.Background(), c, opts, nil)
+}
+
+// BuildTableContext is BuildTable governed by ctx: cancellation is
+// observed between evaluation points and inside the kernels themselves,
+// so a cancelled build returns ctx.Err() promptly. A nil ctx behaves
+// like context.Background(), and an uncancelled build is bit-identical
+// to BuildTable.
+func BuildTableContext(ctx context.Context, c *soc.Core, opts TableOptions) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return buildTable(ctx, c, opts, nil)
 }
 
 // buildTable is BuildTable with an optional telemetry sink: kernel
 // counters attach to every worker's evaluator, worker busy time is
 // accounted, and the build itself is counted.
-func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
+func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
 	opts = opts.withDefaults()
 	if opts.MaxWidth < 1 {
 		return nil, fmt.Errorf("core: MaxWidth %d", opts.MaxWidth)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Generate the test set up front: validates the core and warms the
 	// cache every worker's Evaluator shares.
@@ -244,7 +300,13 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 		corePruned: tel.Counter("prune." + c.Name + ".pruned"),
 		coreEvals:  tel.Counter("prune." + c.Name + ".evals"),
 	}
-	err := forEachEval(c, opts.Workers, directM+len(bands), tel, func(ev *Evaluator, i int) error {
+	point := func(i int) string {
+		if i < directM {
+			return fmt.Sprintf("no-tdc m=%d", i+1)
+		}
+		return fmt.Sprintf("tdc band w=%d", bands[i-directM].w)
+	}
+	err := forEachEval(ctx, c, opts.Workers, directM+len(bands), tel, point, func(ev *Evaluator, i int) error {
 		if i < directM {
 			cfg, err := ev.NoTDC(i + 1)
 			if err != nil {
@@ -262,6 +324,9 @@ func buildTable(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, er
 		return nil
 	})
 	if err != nil {
+		if canceled(err) {
+			tel.Counter("cancel.table_builds").Inc()
+		}
 		return nil, err
 	}
 
@@ -449,6 +514,18 @@ func SweepTDC(c *soc.Core, lo, hi int) ([]Config, error) {
 // runtime.GOMAXPROCS(0), 1 is fully sequential). The result is
 // identical for every bound.
 func SweepTDCWorkers(c *soc.Core, lo, hi, workers int) ([]Config, error) {
+	return SweepTDCContext(context.Background(), c, lo, hi, workers)
+}
+
+// SweepTDCContext is SweepTDCWorkers governed by ctx: cancellation is
+// observed between m points and inside the kernels, so a cancelled
+// sweep returns ctx.Err() promptly. A nil ctx behaves like
+// context.Background(); an uncancelled sweep is identical to
+// SweepTDCWorkers.
+func SweepTDCContext(ctx context.Context, c *soc.Core, lo, hi, workers int) ([]Config, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if lo < 1 {
 		lo = 1
 	}
@@ -462,7 +539,8 @@ func SweepTDCWorkers(c *soc.Core, lo, hi, workers int) ([]Config, error) {
 		return nil, err
 	}
 	out := make([]Config, hi-lo+1)
-	err := forEachEval(c, workers, len(out), nil, func(ev *Evaluator, i int) error {
+	point := func(i int) string { return fmt.Sprintf("tdc m=%d", lo+i) }
+	err := forEachEval(ctx, c, workers, len(out), nil, point, func(ev *Evaluator, i int) error {
 		cfg, err := ev.TDC(lo+i, true)
 		if err != nil {
 			return err
@@ -539,17 +617,32 @@ func (cc *Cache) warnf(format string, args ...any) {
 
 // Get returns the memoized table for (c, opts), building it on first
 // use. Concurrent calls with the same key wait for the single build in
-// flight; a build error is cached (BuildTable is deterministic, so
-// retrying cannot succeed).
+// flight; a deterministic build error is cached (BuildTable is
+// deterministic, so retrying cannot succeed), while cancellations and
+// contained panics evict the entry so a later Get rebuilds.
 func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
-	return cc.get(c, opts, nil)
+	return cc.get(context.Background(), c, opts, nil)
+}
+
+// GetContext is Get governed by ctx: both the build itself and the wait
+// of callers coalesced onto someone else's in-flight build observe
+// cancellation. A waiter whose ctx ends returns ctx.Err() immediately;
+// the build it was waiting on is unaffected. A nil ctx behaves like
+// context.Background().
+func (cc *Cache) GetContext(ctx context.Context, c *soc.Core, opts TableOptions) (*Table, error) {
+	return cc.get(ctx, c, opts, nil)
 }
 
 // GetInstrumented is Get with telemetry: cache probes and any resulting
 // build are counted into tel's cache.*/diskcache.*/eval.* registries.
 // A nil tel makes it identical to Get.
 func (cc *Cache) GetInstrumented(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
-	return cc.get(c, opts, tel)
+	return cc.get(context.Background(), c, opts, tel)
+}
+
+// GetInstrumentedContext combines GetContext and GetInstrumented.
+func (cc *Cache) GetInstrumentedContext(ctx context.Context, c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
+	return cc.get(ctx, c, opts, tel)
 }
 
 // get is Get with an optional telemetry sink: memory- and disk-layer
@@ -557,7 +650,10 @@ func (cc *Cache) GetInstrumented(c *soc.Core, opts TableOptions, tel *telemetry.
 // exactly once per event, deterministically for any worker count,
 // because the singleflight entry install serializes who counts the
 // miss.
-func (cc *Cache) get(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
+func (cc *Cache) get(ctx context.Context, c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opts = opts.withDefaults()
 	key := contentKey(c, opts.normalized())
 	cc.mu.Lock()
@@ -569,13 +665,58 @@ func (cc *Cache) get(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Tabl
 	if ok {
 		cc.mu.Unlock()
 		tel.Counter("cache.mem_hits").Inc()
-		<-e.done
-		return e.t, e.err
+		return e.wait(ctx)
 	}
 	e = &cacheEntry{done: make(chan struct{})}
 	cc.tables[key] = e
 	cc.mu.Unlock()
 	tel.Counter("cache.mem_misses").Inc()
+
+	cc.build(ctx, e, key, dir, c, opts, tel)
+	return e.t, e.err
+}
+
+// wait blocks until the entry's build completes or ctx ends. Bailing
+// out early leaves the build (owned by another caller) running; this
+// waiter just stops waiting for it.
+func (e *cacheEntry) wait(ctx context.Context) (*Table, error) {
+	if ctx.Done() == nil {
+		<-e.done
+		return e.t, e.err
+	}
+	select {
+	case <-e.done:
+		return e.t, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// build populates a freshly installed singleflight entry: disk-layer
+// probe, then the in-memory build, then the best-effort write-back.
+//
+// The deferred epilogue is the fix for the cache-poisoning deadlock:
+// e.done is ALWAYS closed — even when the build panics — so waiters can
+// never block forever on a dead build. A panic is converted to a
+// *PanicError (with the core attached) instead of unwinding into the
+// caller, and any uncacheable outcome (panic or cancellation) evicts
+// the entry from the map so future Gets start a fresh build rather than
+// inheriting a failure that says nothing about the table itself.
+func (cc *Cache) build(ctx context.Context, e *cacheEntry, key, dir string, c *soc.Core, opts TableOptions, tel *telemetry.Sink) {
+	defer func() {
+		if r := recover(); r != nil {
+			tel.Counter("panic.recovered").Inc()
+			e.t, e.err = nil, newPanicError(c.Name, "table build", r)
+		}
+		if uncacheable(e.err) {
+			cc.mu.Lock()
+			if cc.tables[key] == e {
+				delete(cc.tables, key)
+			}
+			cc.mu.Unlock()
+		}
+		close(e.done)
+	}()
 
 	if dir != "" {
 		t, status, reason := loadDiskTable(dir, key, c, opts.normalized())
@@ -583,8 +724,7 @@ func (cc *Cache) get(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Tabl
 		case diskHit:
 			tel.Counter("diskcache.hits").Inc()
 			e.t = t
-			close(e.done)
-			return e.t, nil
+			return
 		case diskMiss:
 			tel.Counter("diskcache.misses").Inc()
 		case diskCorrupt:
@@ -595,7 +735,7 @@ func (cc *Cache) get(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Tabl
 	if cc.buildHook != nil {
 		cc.buildHook(c, opts)
 	}
-	e.t, e.err = buildTable(c, opts, tel)
+	e.t, e.err = buildTable(ctx, c, opts, tel)
 	if e.err == nil && dir != "" {
 		// Best-effort: a failed write only costs a rebuild next run.
 		if err := storeDiskTable(dir, key, e.t); err != nil {
@@ -603,6 +743,4 @@ func (cc *Cache) get(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Tabl
 			cc.warnf("table cache: writing %s: %v", diskPath(dir, key), err)
 		}
 	}
-	close(e.done)
-	return e.t, e.err
 }

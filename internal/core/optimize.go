@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -147,6 +148,20 @@ type Result struct {
 // with even splits refined by single-wire moves; scheduling is greedy
 // longest-first.
 func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), s, wtam, opts)
+}
+
+// OptimizeContext is Optimize governed by ctx. Cancellation is
+// cooperative and fine-grained — observed at every (w, m) table point
+// and every candidate schedule — so a cancelled run returns ctx.Err()
+// promptly, with all worker goroutines drained (never leaked) and a
+// `cancel.runs` mark on the run's telemetry sink. A nil ctx behaves
+// like context.Background(), and an uncancelled run is bit-identical
+// to Optimize.
+func OptimizeContext(ctx context.Context, s *soc.SOC, wtam int, opts Options) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,11 +195,16 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		opts.Telemetry = telemetry.New().Root()
 	}
 	tel := opts.Telemetry
+	defer func() {
+		if canceled(err) {
+			tel.Sink().Counter("cancel.runs").Inc()
+		}
+	}()
 
 	tStart := time.Now()
 	spTables := tel.Child("tables")
 	tablesTiming := spTables.Begin()
-	selectors, err := buildSelectors(s, tabOpts, opts, spTables)
+	selectors, err := buildSelectors(ctx, s, tabOpts, opts, spTables)
 	if err != nil {
 		return nil, err
 	}
@@ -200,7 +220,7 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 		kmax = wtam
 	}
 
-	sctx := newSearchCtx(s, wtam, selectors, opts)
+	sctx := newSearchCtx(ctx, s, wtam, selectors, opts)
 
 	spSearch := tel.Child("search")
 	spRefine := spSearch.Child("refine")
@@ -230,6 +250,12 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 	kt := spSearch.Child("k-sweep").Begin()
 	evenMks := sctx.evalBatch(evens)
 	kt.End()
+	// Distinguish an aborted search from genuine infeasibility before
+	// interpreting the batch: a cancelled batch leaves non-positive
+	// makespans that mean nothing.
+	if err := sctx.failure(); err != nil {
+		return nil, err
+	}
 	for k, mk := range evenMks {
 		if mk <= 0 {
 			// Recover the scheduler's error for the message.
@@ -237,6 +263,9 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("core: scheduling %d buses: %w", k+1, err)
 		}
 		consider(evens[k], mk)
+	}
+	if err := sctx.failure(); err != nil {
+		return nil, err
 	}
 	if opts.MergeSearch {
 		mt := spSearch.Child("merge").Begin()
@@ -246,6 +275,9 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 			return nil, err
 		}
 		consider(part, mk)
+		if err := sctx.failure(); err != nil {
+			return nil, err
+		}
 	}
 	searchTiming.End()
 	// Materialize the winning schedule (the search compares makespans
@@ -258,7 +290,7 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 	}
 	cpuSeconds := time.Since(searchStart).Seconds()
 
-	res := &Result{
+	res = &Result{
 		SOC:          s,
 		Style:        opts.Style,
 		WTAM:         wtam,
@@ -284,22 +316,35 @@ func Optimize(s *soc.SOC, wtam int, opts Options) (*Result, error) {
 // error in core order is returned. Per-core telemetry spans are created
 // under parent on the calling goroutine, in core order, before the
 // fan-out — worker scheduling therefore never changes the span tree.
-func buildSelectors(s *soc.SOC, tabOpts TableOptions, opts Options, parent *telemetry.Span) ([]selector, error) {
+//
+// Workers stop claiming cores once ctx ends, and a panic during one
+// core's build is contained on that worker as a *PanicError naming the
+// core (the build of the other cores proceeds, matching how other
+// build errors behave).
+func buildSelectors(ctx context.Context, s *soc.SOC, tabOpts TableOptions, opts Options, parent *telemetry.Span) ([]selector, error) {
 	sink := parent.Sink()
 	coreSpans := make([]*telemetry.Span, len(s.Cores))
 	for i, c := range s.Cores {
 		coreSpans[i] = parent.Child("core:" + c.Name)
 	}
-	build := func(i int) (selector, error) {
+	build := func(i int) (sel selector, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				sink.Counter("panic.recovered").Inc()
+				sel, err = nil, newPanicError(s.Cores[i].Name, "table/selector build", r)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ct := coreSpans[i].Begin()
 		defer ct.End()
 		c := s.Cores[i]
 		var t *Table
-		var err error
 		if opts.Cache != nil {
-			t, err = opts.Cache.get(c, tabOpts, sink)
+			t, err = opts.Cache.get(ctx, c, tabOpts, sink)
 		} else {
-			t, err = buildTable(c, tabOpts, sink)
+			t, err = buildTable(ctx, c, tabOpts, sink)
 		}
 		if err != nil {
 			return nil, err
@@ -335,6 +380,9 @@ func buildSelectors(s *soc.SOC, tabOpts TableOptions, opts Options, parent *tele
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(s.Cores) {
 					return
@@ -348,6 +396,9 @@ func buildSelectors(s *soc.SOC, tabOpts TableOptions, opts Options, parent *tele
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return selectors, nil
 }
@@ -363,6 +414,19 @@ type searchCtx struct {
 	durMat  []int64 // dur[core*(wtam+1)+width], widths 1..wtam
 	naive   bool
 	workers int
+	// ctx governs the search; check is ctx.Err bound once when ctx is
+	// cancellable (nil otherwise, so Background costs nothing) and is
+	// consulted per candidate schedule through sched.Planner.Check.
+	ctx   context.Context
+	check func() error
+	// panicked/panicMu/panicErr record the first panic contained on a
+	// batch worker (the flag is the lock-free fast-path signal);
+	// failure() surfaces it (or the context error) between search
+	// phases.
+	panicked atomic.Bool
+	panicMu  sync.Mutex
+	panicErr error
+	sink     *telemetry.Sink
 	// memo maps Partition.Key() (the canonical width multiset — the
 	// greedy makespan is invariant under bus reordering) to the
 	// schedule's makespan; infeasible partitions memoize as -1.
@@ -387,14 +451,20 @@ type searchCtx struct {
 // newSearchCtx precomputes the dense duration matrix: one flat int64
 // per (core, width) pair, replacing the selector->chooseConfig->table
 // closure chain in the scheduler's inner loop with an array load.
-func newSearchCtx(s *soc.SOC, wtam int, selectors []selector, opts Options) *searchCtx {
+func newSearchCtx(ctx context.Context, s *soc.SOC, wtam int, selectors []selector, opts Options) *searchCtx {
 	sc := &searchCtx{
 		nCores:  len(s.Cores),
 		wtam:    wtam,
 		durMat:  make([]int64, len(s.Cores)*(wtam+1)),
 		naive:   opts.NaiveOrder,
 		workers: opts.Workers,
+		ctx:     ctx,
 		memo:    make(map[string]int64),
+		sink:    opts.Telemetry.Sink(),
+	}
+	if ctx.Done() != nil {
+		sc.check = ctx.Err
+		sc.planner.Check = sc.check
 	}
 	for c := range s.Cores {
 		row := sc.durMat[c*(wtam+1) : (c+1)*(wtam+1)]
@@ -412,6 +482,45 @@ func newSearchCtx(s *soc.SOC, wtam int, selectors []selector, opts Options) *sea
 		sc.planner.Placements = sc.placements
 	}
 	return sc
+}
+
+// notePanic records the first panic contained on a batch worker.
+func (sc *searchCtx) notePanic(r any) {
+	sc.sink.Counter("panic.recovered").Inc()
+	sc.panicMu.Lock()
+	if sc.panicErr == nil {
+		sc.panicErr = newPanicError("", "schedule evaluation", r)
+	}
+	sc.panicMu.Unlock()
+	sc.panicked.Store(true)
+}
+
+// aborted is the lock-free per-candidate abort check of the batch
+// loops: a noted panic or a done context. With a Background context and
+// no panic it is one atomic load.
+func (sc *searchCtx) aborted() bool {
+	if sc.panicked.Load() {
+		return true
+	}
+	return sc.check != nil && sc.check() != nil
+}
+
+// failure returns the error that should abort the search, if any: a
+// contained worker panic first (it is the more specific diagnosis),
+// then the context's cancellation. Optimize consults it between
+// search phases, before interpreting batch results — a cancelled batch
+// leaves non-positive makespans that must not be read as infeasibility.
+func (sc *searchCtx) failure() error {
+	sc.panicMu.Lock()
+	err := sc.panicErr
+	sc.panicMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if sc.check != nil {
+		return sc.check()
+	}
+	return nil
 }
 
 // dur is the scheduler's duration callback over the dense matrix.
@@ -490,9 +599,7 @@ func (sc *searchCtx) evalBatchKeys(cands []tam.Partition, keys []string) []int64
 
 	workers := resolveWorkers(sc.workers, len(misses))
 	if workers <= 1 {
-		for _, i := range misses {
-			out[i] = sc.makespan(cands[i], &sc.planner)
-		}
+		sc.evalMisses(cands, misses, out, &sc.planner)
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -500,14 +607,17 @@ func (sc *searchCtx) evalBatchKeys(cands []tam.Partition, keys []string) []int64
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				pl := sched.Planner{Placements: sc.placements}
+				pl := sched.Planner{Placements: sc.placements, Check: sc.check}
 				for {
+					if sc.aborted() {
+						return
+					}
 					n := int(next.Add(1)) - 1
 					if n >= len(misses) {
 						return
 					}
 					i := misses[n]
-					out[i] = sc.makespan(cands[i], &pl)
+					sc.evalOne(cands[i], &pl, &out[i])
 				}
 			}()
 		}
@@ -523,6 +633,30 @@ func (sc *searchCtx) evalBatchKeys(cands []tam.Partition, keys []string) []int64
 	return out
 }
 
+// evalMisses is the sequential batch loop, stopping early when the
+// search is aborted (the unevaluated slots stay zero; Optimize never
+// reads an aborted batch — see failure()).
+func (sc *searchCtx) evalMisses(cands []tam.Partition, misses []int, out []int64, pl *sched.Planner) {
+	for _, i := range misses {
+		if sc.aborted() {
+			return
+		}
+		sc.evalOne(cands[i], pl, &out[i])
+	}
+}
+
+// evalOne evaluates one candidate with panic containment: a panic
+// inside the scheduler is noted on the search context instead of
+// unwinding (on a batch worker it would kill the process).
+func (sc *searchCtx) evalOne(p tam.Partition, pl *sched.Planner, out *int64) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc.notePanic(r)
+		}
+	}()
+	*out = sc.makespan(p, pl)
+}
+
 // refine hill-climbs over single-wire moves between buses, taking the
 // best improving neighbor each round (partitions deduplicated by
 // canonical key). Each round's neighborhood is evaluated as one batch;
@@ -533,6 +667,11 @@ func (sc *searchCtx) refine(part tam.Partition, mk int64, maxIter int) (tam.Part
 	var cands []tam.Partition
 	var keys []string
 	for iter := 0; iter < maxIter; iter++ {
+		if sc.aborted() {
+			// Results past this point are meaningless; Optimize's
+			// failure() check discards them.
+			return part, mk
+		}
 		cands, keys = cands[:0], keys[:0]
 		for from := range part {
 			for to := range part {
@@ -583,6 +722,9 @@ func (sc *searchCtx) mergeSearch(wtam, kmax int) (tam.Partition, int64, error) {
 		return nil, 0, err
 	}
 	mk := sc.evalBatch([]tam.Partition{part})[0]
+	if err := sc.failure(); err != nil {
+		return nil, 0, err
+	}
 	if mk <= 0 {
 		_, err := sc.schedule(part)
 		return nil, 0, fmt.Errorf("core: merge search seed: %w", err)
@@ -590,6 +732,9 @@ func (sc *searchCtx) mergeSearch(wtam, kmax int) (tam.Partition, int64, error) {
 	bestPart, bestMk := part, mk
 	var cands []tam.Partition
 	for len(part) > 1 {
+		if err := sc.failure(); err != nil {
+			return nil, 0, err
+		}
 		// Widths matter, positions do not: merging bus i into bus j is
 		// characterized by the merged width, so only distinct pairs of
 		// widths need scheduling.

@@ -60,8 +60,19 @@ func (g GenSpec) Validate() error {
 	if g.Patterns <= 0 {
 		return fmt.Errorf("cube: GenSpec.Patterns = %d, must be > 0", g.Patterns)
 	}
-	if g.Density <= 0 || g.Density > 1 {
+	// The positive form also rejects NaN (which compares false to
+	// everything and would otherwise slip through to the placement
+	// arithmetic).
+	if !(g.Density > 0 && g.Density <= 1) {
 		return fmt.Errorf("cube: GenSpec.Density = %g, must be in (0,1]", g.Density)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"DensityDecay", g.DensityDecay}, {"Clustering", g.Clustering}, {"OneBias", g.OneBias}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("cube: GenSpec.%s = %g, must be finite", f.name, f.v)
+		}
 	}
 	if len(g.Geometry) > 0 {
 		total := g.IOCells
@@ -280,7 +291,9 @@ func maxInt(a, b int) int {
 }
 
 func clamp01(x float64) float64 {
-	if x < 0 {
+	// NaN fails both comparisons; map it to 0 rather than letting it
+	// poison the downstream arithmetic (rand.Intn(int(NaN)) panics).
+	if !(x >= 0) {
 		return 0
 	}
 	if x > 1 {

@@ -56,14 +56,14 @@ func Ablations() (*AblationResult, error) {
 	}
 
 	// 2. Within-band best-m exploration vs band maximum.
-	full, err := core.Optimize(sys1, 32, core.Options{
+	full, err := core.OptimizeContext(expContext(), sys1, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 48},
 	})
 	if err != nil {
 		return nil, err
 	}
-	bandMax, err := core.Optimize(sys1, 32, core.Options{
+	bandMax, err := core.OptimizeContext(expContext(), sys1, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 1},
 	})
@@ -77,14 +77,14 @@ func Ablations() (*AblationResult, error) {
 	})
 
 	// 3. TAM-partition refinement vs even splits (prime budget).
-	refined, err := core.Optimize(sys1, 37, core.Options{
+	refined, err := core.OptimizeContext(expContext(), sys1, 37, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 37},
 	})
 	if err != nil {
 		return nil, err
 	}
-	even, err := core.Optimize(sys1, 37, core.Options{
+	even, err := core.OptimizeContext(expContext(), sys1, 37, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: 37}, DisableRefinement: true,
 	})
@@ -102,14 +102,14 @@ func Ablations() (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	lpt, err := core.Optimize(sys2, 32, core.Options{
+	lpt, err := core.OptimizeContext(expContext(), sys2, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: tableWidth},
 	})
 	if err != nil {
 		return nil, err
 	}
-	naive, err := core.Optimize(sys2, 32, core.Options{
+	naive, err := core.OptimizeContext(expContext(), sys2, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		Tables: core.TableOptions{MaxWidth: tableWidth}, NaiveOrder: true,
 	})
@@ -153,7 +153,7 @@ func Verify() (*VerifyResult, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown design %s", name)
 		}
-		res, err := core.Optimize(s, 32, core.Options{
+		res, err := core.OptimizeContext(expContext(), s, 32, core.Options{
 			Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
 		})

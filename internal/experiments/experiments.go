@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"context"
+
 	"soctap/internal/core"
 	"soctap/internal/telemetry"
 )
@@ -53,6 +55,24 @@ var telSpan *telemetry.Span
 // SetTelemetry routes phase spans and subsystem counters of subsequent
 // experiment runs into sink (nil turns instrumentation back off).
 func SetTelemetry(sink *telemetry.Sink) { telSink = sink }
+
+// runCtx governs every subsequent experiment run; nil (the default)
+// behaves like context.Background().
+var runCtx context.Context
+
+// SetContext makes ctx govern every subsequent experiment run:
+// cancelling it aborts in-flight Optimize/BuildTable/Sweep calls with
+// ctx.Err(). cmd/repro wires its SIGINT/SIGTERM context here. Call it
+// before launching experiments; nil restores context.Background().
+func SetContext(ctx context.Context) { runCtx = ctx }
+
+// expContext resolves the context experiment runs use.
+func expContext() context.Context {
+	if runCtx == nil {
+		return context.Background()
+	}
+	return runCtx
+}
 
 // expSpan opens the top-level span for one experiment run and makes it
 // the parent of every Optimize call until the returned timing is Ended:

@@ -39,7 +39,7 @@ func Fig2() (*Fig2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfgs, err := core.SweepTDCWorkers(c, lo, hi, engineWorkers)
+	cfgs, err := core.SweepTDCContext(expContext(), c, lo, hi, engineWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +97,7 @@ func Fig3() (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tab, err := sharedCache.GetInstrumented(c,
+	tab, err := sharedCache.GetInstrumentedContext(expContext(), c,
 		core.TableOptions{MaxWidth: tableWidth, Workers: engineWorkers}, telSink)
 	if err != nil {
 		return nil, err
@@ -162,7 +162,7 @@ func Fig4() (*Fig4Result, error) {
 	s := soc.Figure4SOC()
 	r := &Fig4Result{WTAM: 31}
 	for i, style := range styleOrder {
-		res, err := core.Optimize(s, r.WTAM, core.Options{
+		res, err := core.OptimizeContext(expContext(), s, r.WTAM, core.Options{
 			Style:  style,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
 			Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,

@@ -42,7 +42,7 @@ func Seeds() (*SeedsResult, error) {
 		}
 		// The cache keys tables by core content, and the shifted Seed is
 		// part of the key — each variant gets its own entries.
-		noTDC, err := core.Optimize(base, 32, core.Options{
+		noTDC, err := core.OptimizeContext(expContext(), base, 32, core.Options{
 			Style:     core.StyleNoTDC,
 			Tables:    core.TableOptions{MaxWidth: 32},
 			Cache:     &sharedCache,
@@ -52,7 +52,7 @@ func Seeds() (*SeedsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		tdc, err := core.Optimize(base, 32, core.Options{
+		tdc, err := core.OptimizeContext(expContext(), base, 32, core.Options{
 			Style:     core.StyleTDCPerCore,
 			Tables:    core.TableOptions{MaxWidth: 32},
 			Cache:     &sharedCache,

@@ -35,7 +35,7 @@ func Tab1() (*Tab1Result, error) {
 	r := &Tab1Result{}
 	for _, design := range []*soc.SOC{soc.D695(), soc.D2758()} {
 		for _, wate := range []int{8, 16, 24, 32} {
-			ours, err := core.Optimize(design, wate, core.Options{
+			ours, err := core.OptimizeContext(expContext(), design, wate, core.Options{
 				Style:  core.StyleTDCPerCore,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
 				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
@@ -112,7 +112,7 @@ func Tab2() (*Tab2Result, error) {
 	design := soc.D695()
 	r := &Tab2Result{Design: design.Name}
 	for _, wtam := range []int{16, 24, 32, 40, 48, 56, 64} {
-		ours, err := core.Optimize(design, wtam, core.Options{
+		ours, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 			Style:  core.StyleTDCPerCore,
 			Tables: core.TableOptions{MaxWidth: tableWidth},
 			Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
@@ -215,7 +215,7 @@ func Tab3() (*Tab3Result, error) {
 			return nil, err
 		}
 		for _, wtam := range Tab3Widths {
-			noTDC, err := core.Optimize(design, wtam, core.Options{
+			noTDC, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style:  core.StyleNoTDC,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
 				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
@@ -223,7 +223,7 @@ func Tab3() (*Tab3Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			tdc, err := core.Optimize(design, wtam, core.Options{
+			tdc, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style:  core.StyleTDCPerCore,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
 				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,

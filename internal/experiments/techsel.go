@@ -36,14 +36,14 @@ func TechSel() (*TechSelResult, error) {
 	designs := []*soc.SOC{soc.D695(), soc.MustSystem("System1")}
 	for _, design := range designs {
 		for _, wtam := range []int{16, 32} {
-			plain, err := core.Optimize(design, wtam, core.Options{
+			plain, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 				Tables: core.TableOptions{MaxWidth: tableWidth},
 			})
 			if err != nil {
 				return nil, err
 			}
-			sel, err := core.Optimize(design, wtam, core.Options{
+			sel, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 				Tables:     core.TableOptions{MaxWidth: tableWidth},
 				EnableDict: true, DictSizes: []int{64, 256},

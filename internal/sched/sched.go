@@ -123,6 +123,13 @@ type Planner struct {
 	// nil default is free, keeping the warm makespan path at zero
 	// allocations and unmeasurable overhead.
 	Placements *telemetry.Counter
+
+	// Check, when non-nil, is consulted once per schedule evaluation
+	// (the architecture search's candidate granularity); a non-nil
+	// return aborts the evaluation with that error. The search sets it
+	// to ctx.Err for cancellable contexts only, so the nil default
+	// keeps the warm makespan path overhead-free.
+	Check func() error
 }
 
 type coreTime struct {
@@ -133,13 +140,27 @@ type coreTime struct {
 // Greedy is the paper's longest-first heuristic (see the package-level
 // Greedy), reusing the planner's scratch for ordering.
 func (p *Planner) Greedy(nCores int, widths []int, dur Duration) (*Schedule, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
 	order := p.longestFirstOrder(nCores, widths, dur)
 	return placeInOrder(order, widths, dur)
 }
 
 // InOrder places cores in index order (see the package-level InOrder).
 func (p *Planner) InOrder(nCores int, widths []int, dur Duration) (*Schedule, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
 	return placeInOrder(p.indexOrder(nCores), widths, dur)
+}
+
+// check consults the cancellation hook, if armed.
+func (p *Planner) check() error {
+	if p.Check == nil {
+		return nil
+	}
+	return p.Check()
 }
 
 // GreedyMakespan returns the makespan Greedy would produce without
@@ -214,6 +235,9 @@ func (p *Planner) longestFirstOrder(nCores int, widths []int, dur Duration) []in
 // placeMakespan runs the placement loop of placeInOrder tracking only
 // per-bus finish times, in the planner's scratch.
 func (p *Planner) placeMakespan(order []int, widths []int, dur Duration) (int64, error) {
+	if err := p.check(); err != nil {
+		return 0, err
+	}
 	if cap(p.busTimes) < len(widths) {
 		p.busTimes = make([]int64, len(widths))
 	}

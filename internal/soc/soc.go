@@ -8,9 +8,25 @@ package soc
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"soctap/internal/cube"
+)
+
+// Structural sanity bounds enforced by Validate. They sit far above any
+// realistic SOC (the largest ITC'02 cores are orders of magnitude
+// smaller) and exist to keep malformed or hostile design files out of
+// the downstream kernels: a terminal count whose stimulus sum overflows
+// int would otherwise reach the cube generator as a negative width and
+// panic (cube.NewCube), and unbounded pattern or chain counts turn the
+// generator into a memory bomb.
+const (
+	MaxTerminals    = 1 << 24 // per terminal class (inputs, outputs, bidirs)
+	MaxScanChains   = 1 << 20 // scan chains per core
+	MaxScanChainLen = 1 << 26 // cells per scan chain
+	MaxPatterns     = 1 << 26 // test patterns per core
+	MaxStimulusBits = 1 << 28 // total stimulus cells per core
 )
 
 // Core describes one wrapped embedded core: its functional terminals, its
@@ -80,7 +96,13 @@ func (c *Core) MaxWrapperChains() int {
 	return len(c.ScanChains) + c.InCells()
 }
 
-// Validate checks the core description for consistency.
+// Validate checks the core description for consistency. It is the
+// gate that keeps malformed design files (see format.go) out of the
+// panicking cube/bitvec kernels: terminal, chain and pattern counts
+// are bounded, the stimulus total is computed overflow-safely, and the
+// generator parameters must be finite — a NaN Clustering, for example,
+// would otherwise sail through range comparisons (every NaN comparison
+// is false) and crash the generator's span sampling.
 func (c *Core) Validate() error {
 	if c.Name == "" {
 		return fmt.Errorf("soc: core with empty name")
@@ -88,19 +110,46 @@ func (c *Core) Validate() error {
 	if c.Inputs < 0 || c.Outputs < 0 || c.Bidirs < 0 {
 		return fmt.Errorf("soc: core %s: negative terminal count", c.Name)
 	}
+	if c.Inputs > MaxTerminals || c.Outputs > MaxTerminals || c.Bidirs > MaxTerminals {
+		return fmt.Errorf("soc: core %s: terminal count exceeds %d", c.Name, MaxTerminals)
+	}
+	if len(c.ScanChains) > MaxScanChains {
+		return fmt.Errorf("soc: core %s: %d scan chains exceeds %d", c.Name, len(c.ScanChains), MaxScanChains)
+	}
+	stim := int64(c.Inputs) + int64(c.Bidirs)
 	for i, l := range c.ScanChains {
 		if l <= 0 {
 			return fmt.Errorf("soc: core %s: scan chain %d has length %d", c.Name, i, l)
 		}
+		if l > MaxScanChainLen {
+			return fmt.Errorf("soc: core %s: scan chain %d length %d exceeds %d", c.Name, i, l, MaxScanChainLen)
+		}
+		stim += int64(l)
 	}
 	if c.Patterns <= 0 {
 		return fmt.Errorf("soc: core %s: %d patterns", c.Name, c.Patterns)
 	}
-	if c.StimulusBits() == 0 {
+	if c.Patterns > MaxPatterns {
+		return fmt.Errorf("soc: core %s: %d patterns exceeds %d", c.Name, c.Patterns, MaxPatterns)
+	}
+	if stim == 0 {
 		return fmt.Errorf("soc: core %s has no stimulus cells", c.Name)
 	}
+	if stim > MaxStimulusBits {
+		return fmt.Errorf("soc: core %s: %d stimulus cells exceeds %d", c.Name, stim, MaxStimulusBits)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"clustering", c.Clustering}, {"density decay", c.DensityDecay}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("soc: core %s: %s %g is not finite", c.Name, f.name, f.v)
+		}
+	}
 	if c.ExplicitCubes == nil {
-		if c.CareDensity <= 0 || c.CareDensity > 1 {
+		// Written so a NaN density fails too (NaN compares false to
+		// everything, so the positive form is the safe one).
+		if !(c.CareDensity > 0 && c.CareDensity <= 1) {
 			return fmt.Errorf("soc: core %s: care density %g out of (0,1]", c.Name, c.CareDensity)
 		}
 	} else {

@@ -17,6 +17,17 @@
 // identical counter snapshots regardless of parallelism. Timers and
 // span durations are wall-clock and excluded from that guarantee; the
 // Snapshot type keeps the two apart.
+//
+// Failure-path counters are the one qualification to that determinism.
+// The cancel.* family (cancel.runs, cancel.table_builds), the
+// panic.recovered counter, and the run.cancelled marker written by the
+// command binaries record where a run was interrupted or where a worker
+// panic was contained — events whose timing depends on signal delivery
+// and goroutine scheduling. They are registered only when such an event
+// occurs, so clean runs keep identical snapshots at every worker count;
+// on a cancelled or panicking run the counter *values* may differ
+// between worker counts and are excluded from the worker-count
+// invariance guarantee.
 package telemetry
 
 import (

@@ -38,6 +38,7 @@
 package soctap
 
 import (
+	"context"
 	"io"
 
 	"soctap/internal/ate"
@@ -150,11 +151,26 @@ func Optimize(s *SOC, wtam int, opts Options) (*Result, error) {
 	return core.Optimize(s, wtam, opts)
 }
 
+// OptimizeContext is Optimize governed by ctx: a cancelled run returns
+// ctx.Err() promptly (cancellation is observed at every table
+// evaluation point and every candidate schedule) with no goroutines
+// leaked, and an uncancelled run is bit-identical to Optimize. A nil
+// ctx behaves like context.Background().
+func OptimizeContext(ctx context.Context, s *SOC, wtam int, opts Options) (*Result, error) {
+	return core.OptimizeContext(ctx, s, wtam, opts)
+}
+
 // BuildTable constructs the per-core lookup table of Section 2 of the
 // paper: best configurations at every TAM width, with and without the
 // decompressor.
 func BuildTable(c *Core, opts TableOptions) (*Table, error) {
 	return core.BuildTable(c, opts)
+}
+
+// BuildTableContext is BuildTable governed by ctx (see OptimizeContext
+// for the cancellation contract).
+func BuildTableContext(ctx context.Context, c *Core, opts TableOptions) (*Table, error) {
+	return core.BuildTableContext(ctx, c, opts)
 }
 
 // SweepTDC evaluates every wrapper-chain count m in [lo, hi] with the
@@ -169,6 +185,12 @@ func SweepTDC(c *Core, lo, hi int) ([]Config, error) {
 // one worker per CPU, 1 is fully sequential).
 func SweepTDCWorkers(c *Core, lo, hi, workers int) ([]Config, error) {
 	return core.SweepTDCWorkers(c, lo, hi, workers)
+}
+
+// SweepTDCContext is SweepTDCWorkers governed by ctx (see
+// OptimizeContext for the cancellation contract).
+func SweepTDCContext(ctx context.Context, c *Core, lo, hi, workers int) ([]Config, error) {
+	return core.SweepTDCContext(ctx, c, lo, hi, workers)
 }
 
 // EvalTDC evaluates one compressed configuration (m wrapper chains,
