@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead kernel-equivalence robustness
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead kernel-equivalence robustness cachefmt
 
 # check is the tier-1 gate: everything must pass before a change lands.
 # A PR that touches the kernels or the sweep should also refresh the
 # dated benchmark archive with `make bench-json` and note the numbers.
-check: vet build test race bench-smoke telemetry-overhead kernel-equivalence robustness
+check: vet build test race bench-smoke telemetry-overhead kernel-equivalence robustness cachefmt
 
 vet:
 	$(GO) vet ./...
@@ -45,7 +45,8 @@ bench-smoke:
 # alloc stats and any custom metrics, parsed by cmd/benchjson.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig2CktSweep$$|BenchmarkTab3WithWithoutTDC$$|BenchmarkOptimizeSearch$$' -benchtime 1x -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkGreedySchedule$$' -benchtime 1x -benchmem ./internal/sched ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkGreedySchedule$$' -benchtime 1x -benchmem ./internal/sched ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDiskLoadV1VsV2|BenchmarkCacheGetParallel' -benchmem ./internal/core ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 	@echo wrote BENCH_$$(date +%Y-%m-%d).json
 
@@ -69,6 +70,18 @@ kernel-equivalence:
 robustness:
 	$(GO) test -race -count=1 -timeout 300s -run 'TestCacheGetPanicNoDeadlock|TestCacheWaiterCancelPromptly|TestCacheDeterministicErrorCached|TestForEachEvalPanicContained|TestBuildTableContextCancelled|TestSweepTDCContextCancelled|TestOptimizeCancelMidRun|TestOptimizeContextMatchesOptimize|TestStoreDiskTableFaultInjection|TestDiskCacheShortEntryIsCorrupt' ./internal/core
 	$(GO) test -race -count=1 -timeout 60s -run 'TestParseRejectsMalformedDesigns|TestValidateStructuralBounds|TestMalformedDesignNeverReachesKernels' ./internal/soc
+
+# cachefmt asserts the cache-format and cache-tier contracts: the v2
+# container round-trips byte-exactly against the checked-in golden file
+# and rejects corruption (tablecodec golden/rejection/fuzz-seed tests),
+# gob v1 entries migrate transparently to v2 with bit-identical tables
+# on every d695/industrial core, both disk tiers honour their size
+# bounds, and the sharded cache keeps singleflight/LRU semantics under
+# the race detector.
+cachefmt:
+	$(GO) test -run 'TestGoldenV2|TestHeaderRejection|TestVerifyCatchesTruncation|TestRoundTrip|TestDecodeArbitraryPrefixNeverPanics|FuzzTableCodecRoundTrip' -count=1 ./internal/tablecodec
+	$(GO) test -run 'TestDiskCacheV1Migration|TestFormatV2MatchesV1OnBenchmarks|TestDiskCacheRoundTrip|TestDiskCacheBitFlipNeverPanics|TestDiskCacheSizeBound' -count=1 ./internal/core
+	$(GO) test -race -count=1 -timeout 120s -run 'TestCacheShardedConcurrency|TestCacheShardSpread|TestCacheMemBound|TestCacheMemBoundEvictsLRU' ./internal/core
 
 # telemetry-overhead asserts the zero-overhead-when-disabled contract:
 # the instrumented-but-disabled kernel and makespan paths must run at 0

@@ -28,6 +28,7 @@ import (
 // "cycles" a paper-artifact bench reports) land in Metrics.
 type Benchmark struct {
 	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
@@ -40,6 +41,7 @@ type Report struct {
 	Date       string      `json:"date"`
 	GoOS       string      `json:"goos"`
 	GoArch     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -54,6 +56,7 @@ func main() {
 	defer stop()
 
 	rep := Report{Date: time.Now().UTC().Format("2006-01-02")}
+	var pkg string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -67,9 +70,17 @@ func main() {
 			rep.GoOS = strings.TrimPrefix(line, "goos: ")
 		case strings.HasPrefix(line, "goarch: "):
 			rep.GoArch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			// One bench-json pipe spans several packages; the pkg line
+			// precedes that package's benchmark lines, so track it and
+			// stamp each result.
+			pkg = strings.TrimPrefix(line, "pkg: ")
 		case strings.HasPrefix(line, "Benchmark"):
 			b, ok := parseLine(line)
 			if ok {
+				b.Pkg = pkg
 				rep.Benchmarks = append(rep.Benchmarks, b)
 			}
 		}

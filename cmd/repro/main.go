@@ -37,12 +37,15 @@ import (
 
 	"soctap/internal/experiments"
 	"soctap/internal/telemetry"
+	"soctap/internal/units"
 )
 
 func main() {
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	workers := flag.Int("workers", 0, "evaluation-engine worker goroutines (0 = one per CPU, 1 = sequential; results are identical)")
 	tableCache := flag.String("table-cache", "", "directory for the persistent lookup-table cache (reused across runs)")
+	tableCacheMem := flag.String("table-cache-mem", "", "in-memory table cache budget, e.g. 64M or 2GiB (empty = unbounded)")
+	tableCacheSize := flag.String("table-cache-size", "", "on-disk table cache budget under -table-cache, e.g. 512M (empty = unbounded)")
 	telemetryOut := flag.String("telemetry", "", "write the telemetry snapshot (phase spans + counters) as JSON to this file ('-' for stdout)")
 	telemetryText := flag.Bool("telemetry-text", false, "render the telemetry snapshot as text on stderr after the run")
 	quiet := flag.Bool("quiet", false, "suppress per-phase progress lines on stderr")
@@ -75,6 +78,17 @@ func main() {
 	if *tableCache != "" {
 		experiments.SetTableCacheDir(*tableCache)
 	}
+	memBytes, err := units.ParseBytes(*tableCacheMem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro: -table-cache-mem:", err)
+		os.Exit(2)
+	}
+	diskBytes, err := units.ParseBytes(*tableCacheSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro: -table-cache-size:", err)
+		os.Exit(2)
+	}
+	experiments.SetTableCacheLimits(memBytes, diskBytes)
 
 	// SIGINT/SIGTERM cancel the experiment run cooperatively: in-flight
 	// Optimize/BuildTable calls unwind with ctx.Err(), the telemetry

@@ -27,6 +27,7 @@ import (
 	"soctap/internal/sim"
 	"soctap/internal/soc"
 	"soctap/internal/telemetry"
+	"soctap/internal/units"
 )
 
 func main() {
@@ -42,6 +43,8 @@ func main() {
 	gantt := flag.Bool("gantt", false, "draw the schedule as an ASCII Gantt chart")
 	techsel := flag.Bool("techsel", false, "extend per-core choices with dictionary coding (technique selection)")
 	tableCache := flag.String("table-cache", "", "directory for the persistent lookup-table cache (reused across runs)")
+	tableCacheMem := flag.String("table-cache-mem", "", "in-memory table cache budget, e.g. 64M or 2GiB (empty = unbounded)")
+	tableCacheSize := flag.String("table-cache-size", "", "on-disk table cache budget under -table-cache, e.g. 512M (empty = unbounded)")
 	jsonOut := flag.String("json", "", "also write the plan as JSON to this file ('-' for stdout)")
 	telemetryOut := flag.String("telemetry", "", "write the telemetry snapshot (phase spans + counters) as JSON to this file ('-' for stdout)")
 	telemetryText := flag.Bool("telemetry-text", false, "render the telemetry snapshot as text on stderr after the run")
@@ -97,6 +100,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	memBytes, err := units.ParseBytes(*tableCacheMem)
+	if err != nil {
+		fatal(fmt.Errorf("-table-cache-mem: %w", err))
+	}
+	diskBytes, err := units.ParseBytes(*tableCacheSize)
+	if err != nil {
+		fatal(fmt.Errorf("-table-cache-size: %w", err))
+	}
 
 	res, err := core.OptimizeContext(ctx, s, *width, core.Options{
 		Style:      style,
@@ -105,8 +116,10 @@ func main() {
 		EnableDict: *techsel,
 		Workers:    *workers,
 
-		TableCacheDir: *tableCache,
-		Telemetry:     sink.Root(),
+		TableCacheDir:       *tableCache,
+		TableCacheMemBytes:  memBytes,
+		TableCacheDiskBytes: diskBytes,
+		Telemetry:           sink.Root(),
 	})
 	if err != nil {
 		fail(err)

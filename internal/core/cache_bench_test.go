@@ -1,0 +1,142 @@
+package core
+
+// Benchmarks for cache tier 2.0, archived by `make bench-json`:
+// cold-load time and entry size of the v2 bitpacked container against
+// the gob v1 baseline, and memory-hit throughput of the sharded cache
+// against a single-lock baseline under parallel load.
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+
+	"soctap/internal/soc"
+)
+
+// BenchmarkDiskLoadV1VsV2 measures one full cold load — file read,
+// validation, decode, core re-attachment — per format, and reports the
+// on-disk entry size as entry-bytes. The acceptance bar for the v2
+// format is ≥3x faster and ≥2x smaller than gob.
+func BenchmarkDiskLoadV1VsV2(b *testing.B) {
+	c := compressibleCore(77)
+	opts := TableOptions{MaxWidth: 64}.normalized()
+	tab, err := BuildTable(c, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := contentKey(c, opts)
+
+	v1dir, v2dir := b.TempDir(), b.TempDir()
+	if err := storeDiskTableV1(v1dir, key, tab); err != nil {
+		b.Fatal(err)
+	}
+	if err := storeDiskTable(v2dir, key, tab); err != nil {
+		b.Fatal(err)
+	}
+	size := func(path string) int64 {
+		info, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return info.Size()
+	}
+	v1size := size(legacyDiskPath(v1dir, key))
+	v2size := size(diskPath(v2dir, key))
+
+	load := func(b *testing.B, dir string) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			t, status, reason, _ := loadDiskTable(dir, key, c, opts)
+			if status != diskHit || t == nil {
+				b.Fatalf("load status %v: %v", status, reason)
+			}
+		}
+	}
+	b.Run("v1-gob", func(b *testing.B) {
+		b.ReportMetric(float64(v1size), "entry-bytes")
+		load(b, v1dir)
+	})
+	b.Run("v2-bitpack", func(b *testing.B) {
+		b.ReportMetric(float64(v2size), "entry-bytes")
+		load(b, v2dir)
+	})
+}
+
+// singleLockCache is the pre-sharding design — one mutex in front of
+// the whole table map — reproduced here as the contention baseline for
+// BenchmarkCacheGetParallel. Only the memory-hit path matters for the
+// comparison; the singleflight bookkeeping matches the real cache.
+type singleLockCache struct {
+	mu     sync.Mutex
+	tables map[string]*cacheEntry
+}
+
+func (sc *singleLockCache) get(c *soc.Core, opts TableOptions) (*Table, error) {
+	opts = opts.withDefaults()
+	key := contentKey(c, opts.normalized())
+	sc.mu.Lock()
+	if sc.tables == nil {
+		sc.tables = make(map[string]*cacheEntry)
+	}
+	if e, ok := sc.tables[key]; ok {
+		sc.mu.Unlock()
+		return e.wait(context.Background())
+	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	sc.tables[key] = e
+	sc.mu.Unlock()
+	e.t, e.err = BuildTable(c, opts)
+	close(e.done)
+	return e.t, e.err
+}
+
+// BenchmarkCacheGetParallel hammers warm Gets across many goroutines
+// and 16 distinct keys: every probe is a memory hit, so the measured
+// cost is key hashing plus map/lock traffic — the part the sharding
+// parallelizes.
+func BenchmarkCacheGetParallel(b *testing.B) {
+	const nCores = 16
+	opts := TableOptions{MaxWidth: 6, Workers: 1}
+	cores := make([]*soc.Core, nCores)
+	for i := range cores {
+		cores[i] = compressibleCore(int64(900 + i))
+	}
+
+	b.Run("sharded", func(b *testing.B) {
+		var cc Cache
+		for _, c := range cores {
+			if _, err := cc.Get(c, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := cc.Get(cores[i%nCores], opts); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	b.Run("single-lock", func(b *testing.B) {
+		var sc singleLockCache
+		for _, c := range cores {
+			if _, err := sc.get(c, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, err := sc.get(cores[i%nCores], opts); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+}

@@ -7,28 +7,53 @@ package core
 // content-addressed by the same contentKey the in-memory Cache uses,
 // and survive process restarts.
 //
-// Format: each entry is a file <dir>/<key>.table holding a gob-encoded
-// diskEntry whose Version field ties it to this code revision. Writes go
-// through a temp file in the same directory — synced before an atomic
-// rename, with the directory synced after — so neither a concurrent
-// reader nor a crash mid-write can observe a half-written entry.
-// Readers treat every failure — missing file, truncation, garbage,
-// version or key mismatch, shape mismatch — as a cache miss: the table
-// is rebuilt and the entry rewritten, never trusted, and corruption
-// never surfaces as an error. Failures are no longer invisible, though:
-// loads distinguish an absent entry (diskMiss) from a present-but-bad
-// one (diskCorrupt), and Cache.get routes the distinction into the
-// diskcache.* telemetry counters and the optional SetWarn callback.
+// Layout: entries live at <dir>/<hh>/<key>.table, fanned out into 256
+// two-hex-char subdirectories (hh = the key's first two characters) so
+// multi-thousand-entry caches never degrade into one giant directory
+// scan. Caches written by earlier revisions used flat <dir>/<key>.table
+// paths; those are still found on read and migrated to the sharded
+// location the first time they are touched.
+//
+// Format: v2 entries are tablecodec containers (self-validating fixed
+// header + bitpacked columns, see internal/tablecodec and diskcodec.go).
+// Stale or damaged entries are rejected from the 32-byte header without
+// decoding the payload. Entries written by the v1 code are gob streams
+// (diskEntry below); they are still readable, and a v1 read transparently
+// rewrites the entry as v2 — one process generation after an upgrade the
+// cache is fully converted, with no flag day and no rebuild.
+//
+// Writes go through a temp file in the same directory — synced before an
+// atomic rename, with the directory synced after — so neither a
+// concurrent reader nor a crash mid-write can observe a half-written
+// entry. Readers treat every failure — missing file, truncation,
+// garbage, version or key mismatch, shape mismatch — as a cache miss:
+// the table is rebuilt and the entry rewritten, never trusted, and
+// corruption never surfaces as an error. Failures are not invisible,
+// though: loads distinguish an absent entry (diskMiss) from a
+// present-but-bad one (diskCorrupt), and Cache routes the distinction
+// into the diskcache.* telemetry counters and the optional SetWarn
+// callback.
+//
+// The diskStore type layers a total-size budget on top: an
+// atime-tracked index (modification time doubles as access time — reads
+// re-stamp it with Chtimes) with oldest-first eviction, so `-table-cache-size`
+// bounds the directory while keeping the most recently useful entries.
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
+	"time"
 
 	"soctap/internal/soc"
+	"soctap/internal/tablecodec"
+	"soctap/internal/telemetry"
 )
 
 // diskStatus classifies one disk-store probe.
@@ -40,12 +65,11 @@ const (
 	diskCorrupt                   // entry present but unreadable, stale or mismatched
 )
 
-// diskCacheVersion tags every entry. Bump it whenever diskEntry,
-// Config, or table semantics change; stale entries then read as misses
-// and are rebuilt in place.
+// diskCacheVersion tags every v1 (gob) entry. Kept for reading caches
+// written by earlier revisions; new entries are tablecodec containers.
 const diskCacheVersion = "soctap-diskcache-v1"
 
-// diskEntry is the serialized form of a Table. The Core pointer is
+// diskEntry is the v1 serialized form of a Table. The Core pointer is
 // deliberately not stored: the requesting core is re-attached on load
 // (the content key guarantees it is structurally identical).
 type diskEntry struct {
@@ -58,7 +82,20 @@ type diskEntry struct {
 	Best     []Config
 }
 
+// diskPath is the sharded location of an entry: a two-hex-char
+// subdirectory keyed by the first byte of the (hex) content key. Keys
+// too short to shard — only synthetic test keys; real keys are 64-char
+// sha256 hex — stay flat.
 func diskPath(dir, key string) string {
+	if len(key) < 2 {
+		return filepath.Join(dir, key+".table")
+	}
+	return filepath.Join(dir, key[:2], key+".table")
+}
+
+// legacyDiskPath is the flat pre-fan-out location, consulted (and
+// migrated away from) when the sharded path misses.
+func legacyDiskPath(dir, key string) string {
 	return filepath.Join(dir, key+".table")
 }
 
@@ -66,30 +103,56 @@ func diskPath(dir, key string) string {
 // On anything but a hit the caller rebuilds; the status says whether
 // the entry was absent (diskMiss) or present but bad (diskCorrupt), and
 // reason carries the corruption detail for the warning callback.
-func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (t *Table, status diskStatus, reason error) {
-	f, err := os.Open(diskPath(dir, key))
+// rewrite reports a hit that should be re-stored: a gob v1 entry
+// (format upgrade) or one found at the legacy flat path (layout
+// migration) — or both.
+func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (t *Table, status diskStatus, reason error, rewrite bool) {
+	path := diskPath(dir, key)
+	data, err := os.ReadFile(path)
+	legacy := false
+	if errors.Is(err, fs.ErrNotExist) {
+		if lp := legacyDiskPath(dir, key); lp != path {
+			data, err = os.ReadFile(lp)
+			legacy = true
+		}
+	}
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return nil, diskMiss, nil
+			return nil, diskMiss, nil, false
 		}
-		// Present but unopenable (permissions, I/O): a trace-worthy
+		// Present but unreadable (permissions, I/O): a trace-worthy
 		// failure, not a plain miss.
-		return nil, diskCorrupt, err
+		return nil, diskCorrupt, err, false
 	}
-	defer f.Close()
+	if tablecodec.HasMagic(data) {
+		t, err := decodeTableV2(data, key, c, opts)
+		if err != nil {
+			return nil, diskCorrupt, fmt.Errorf("decoding v2: %w", err), false
+		}
+		return t, diskHit, nil, legacy
+	}
+	t, err = decodeTableV1(data, key, c, opts)
+	if err != nil {
+		return nil, diskCorrupt, err, false
+	}
+	return t, diskHit, nil, true // v1 format: rewrite as v2
+}
+
+// decodeTableV1 parses a gob-era entry and validates its identity.
+func decodeTableV1(data []byte, key string, c *soc.Core, opts TableOptions) (*Table, error) {
 	var e diskEntry
-	if err := gob.NewDecoder(f).Decode(&e); err != nil {
-		return nil, diskCorrupt, fmt.Errorf("decoding: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&e); err != nil {
+		return nil, fmt.Errorf("decoding: %w", err)
 	}
 	if e.Version != diskCacheVersion {
-		return nil, diskCorrupt, fmt.Errorf("stale version %q (want %q)", e.Version, diskCacheVersion)
+		return nil, fmt.Errorf("stale version %q (want %q)", e.Version, diskCacheVersion)
 	}
 	if e.Key != key || e.Opts != opts {
-		return nil, diskCorrupt, fmt.Errorf("entry key/options mismatch")
+		return nil, fmt.Errorf("entry key/options mismatch")
 	}
 	n := opts.MaxWidth + 1
 	if len(e.NoTDC) != n || len(e.TDCExact) != n || len(e.TDCBest) != n || len(e.Best) != n {
-		return nil, diskCorrupt, fmt.Errorf("table shape mismatch")
+		return nil, fmt.Errorf("table shape mismatch")
 	}
 	return &Table{
 		Core:     c,
@@ -98,11 +161,11 @@ func loadDiskTable(dir, key string, c *soc.Core, opts TableOptions) (t *Table, s
 		TDCExact: e.TDCExact,
 		TDCBest:  e.TDCBest,
 		Best:     e.Best,
-	}, diskHit, nil
+	}, nil
 }
 
 // diskFault, when non-nil, injects a failure before the named stage of
-// storeDiskTable ("create", "write", "sync", "close", "rename",
+// storeDiskBytes ("create", "write", "sync", "close", "rename",
 // "dirsync") — the fault-injection seam of the crash-safety tests. Set
 // it only from tests, before concurrent use, and restore it to nil.
 var diskFault func(stage string) error
@@ -115,26 +178,21 @@ func faultAt(stage string) error {
 	return diskFault(stage)
 }
 
-// storeDiskTable writes the entry for key crash-safely: temp file in
-// the same directory, fsync of the file data, atomic rename, then
-// fsync of the directory. The file sync before the rename is what
-// keeps a power cut from publishing a truncated entry under the final
-// name — without it the rename can be durable while the data is not —
-// and the directory sync makes the publication itself durable. Errors
-// are returned for tests but callers treat the store as best-effort: a
-// failed write only costs a rebuild next run.
+// storeDiskTable writes the v2 entry for key at its sharded path.
+// Errors are returned for tests but callers treat the store as
+// best-effort: a failed write only costs a rebuild next run.
 func storeDiskTable(dir, key string, t *Table) error {
+	return storeDiskBytes(dir, key, encodeTableV2(key, t))
+}
+
+// storeDiskTableV1 writes a gob-era entry at the flat legacy path —
+// kept (test- and benchmark-only) so the v1→v2 migration path and the
+// format comparison benchmarks have real v1 inputs to read.
+func storeDiskTableV1(dir, key string, t *Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	if err := faultAt("create"); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, ".tmp-"+key+"-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var buf bytes.Buffer
 	e := diskEntry{
 		Version:  diskCacheVersion,
 		Key:      key,
@@ -144,11 +202,37 @@ func storeDiskTable(dir, key string, t *Table) error {
 		TDCBest:  t.TDCBest,
 		Best:     t.Best,
 	}
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		return err
+	}
+	return os.WriteFile(legacyDiskPath(dir, key), buf.Bytes(), 0o644)
+}
+
+// storeDiskBytes publishes data under key crash-safely: temp file in
+// the entry's directory, fsync of the file data, atomic rename, then
+// fsync of the directory. The file sync before the rename is what
+// keeps a power cut from publishing a truncated entry under the final
+// name — without it the rename can be durable while the data is not —
+// and the directory sync makes the publication itself durable.
+func storeDiskBytes(dir, key string, data []byte) error {
+	path := diskPath(dir, key)
+	entryDir := filepath.Dir(path)
+	if err := os.MkdirAll(entryDir, 0o755); err != nil {
+		return err
+	}
+	if err := faultAt("create"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(entryDir, ".tmp-"+key+"-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if err := faultAt("write"); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := gob.NewEncoder(tmp).Encode(&e); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -170,13 +254,13 @@ func storeDiskTable(dir, key string, t *Table) error {
 	if err := faultAt("rename"); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), diskPath(dir, key)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	return syncDir(dir)
+	return syncDir(entryDir)
 }
 
-// syncDir fsyncs the cache directory so a just-renamed entry's
+// syncDir fsyncs the entry's directory so a just-renamed entry's
 // directory record is durable.
 func syncDir(dir string) error {
 	if err := faultAt("dirsync"); err != nil {
@@ -188,4 +272,201 @@ func syncDir(dir string) error {
 	}
 	defer d.Close()
 	return d.Sync()
+}
+
+// diskStore is the bounded persistent tier: loadDiskTable/storeDiskBytes
+// plus a total-size budget enforced by atime-ordered eviction. With no
+// budget (capBytes == 0) it adds nothing — no index, no stat traffic —
+// and behaves exactly like the unbounded store of earlier revisions.
+//
+// Access times: every hit re-stamps the entry file's mtime with
+// Chtimes, so modification time is a persistent access-time proxy that
+// survives restarts and noatime mounts. The index is built lazily (one
+// WalkDir on the first operation that needs it) and kept incrementally
+// current afterwards.
+type diskStore struct {
+	dir string
+
+	mu       sync.Mutex
+	capBytes int64
+	scanned  bool
+	entries  map[string]diskIdxEnt // key → current size/atime
+	total    int64
+}
+
+// diskIdxEnt is one row of the eviction index.
+type diskIdxEnt struct {
+	path  string
+	size  int64
+	atime time.Time
+}
+
+func newDiskStore(dir string, capBytes int64) *diskStore {
+	return &diskStore{dir: dir, capBytes: capBytes}
+}
+
+// setCap installs (or clears) the total-size budget. Takes effect on
+// the next store.
+func (ds *diskStore) setCap(capBytes int64) {
+	ds.mu.Lock()
+	ds.capBytes = capBytes
+	ds.mu.Unlock()
+}
+
+// load probes the store for key, counting the outcome into tel and
+// migrating legacy entries forward. On a hit the entry's access time is
+// re-stamped; on a v1-format or flat-path hit the entry is rewritten at
+// the sharded path as v2 (best-effort, counted as diskcache.migrated)
+// and the flat original removed.
+func (ds *diskStore) load(key string, c *soc.Core, opts TableOptions, tel *telemetry.Sink, warnf func(string, ...any)) (*Table, diskStatus) {
+	t0 := time.Now()
+	t, status, reason, rewrite := loadDiskTable(ds.dir, key, c, opts)
+	tel.Timer("diskcache.load").Add(time.Since(t0))
+	switch status {
+	case diskHit:
+		tel.Counter("diskcache.hits").Inc()
+		if rewrite {
+			if err := ds.store(key, t, tel); err != nil {
+				tel.Counter("diskcache.write_errors").Inc()
+				warnf("table cache: migrating %s: %v", diskPath(ds.dir, key), err)
+			} else {
+				tel.Counter("diskcache.migrated").Inc()
+				if lp := legacyDiskPath(ds.dir, key); lp != diskPath(ds.dir, key) {
+					os.Remove(lp)
+					ds.forget(lp)
+				}
+			}
+		} else {
+			ds.touch(key)
+		}
+	case diskMiss:
+		tel.Counter("diskcache.misses").Inc()
+	case diskCorrupt:
+		tel.Counter("diskcache.corrupt_rebuilds").Inc()
+		warnf("table cache: corrupt entry %s rebuilt: %v", diskPath(ds.dir, key), reason)
+	}
+	return t, status
+}
+
+// store writes the v2 entry for key, accounts it in the index, and
+// evicts oldest-first down to the budget. diskcache.bytes tracks the
+// net bytes this process added to the store (stores minus evictions).
+func (ds *diskStore) store(key string, t *Table, tel *telemetry.Sink) error {
+	data := encodeTableV2(key, t)
+	if err := storeDiskBytes(ds.dir, key, data); err != nil {
+		return err
+	}
+	tel.Counter("diskcache.bytes").Add(int64(len(data)))
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.capBytes <= 0 {
+		return nil
+	}
+	ds.scanLocked()
+	now := time.Now()
+	if old, ok := ds.entries[key]; ok {
+		ds.total -= old.size
+	}
+	ds.entries[key] = diskIdxEnt{path: diskPath(ds.dir, key), size: int64(len(data)), atime: now}
+	ds.total += int64(len(data))
+	ds.evictLocked(tel)
+	return nil
+}
+
+// touch re-stamps the entry's access time (file mtime + index).
+func (ds *diskStore) touch(key string) {
+	now := time.Now()
+	path := diskPath(ds.dir, key)
+	os.Chtimes(path, now, now) // best-effort
+	ds.mu.Lock()
+	if ds.scanned {
+		if e, ok := ds.entries[key]; ok {
+			e.atime = now
+			ds.entries[key] = e
+		}
+	}
+	ds.mu.Unlock()
+}
+
+// forget drops an index row by path (after a legacy file removal).
+func (ds *diskStore) forget(path string) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if !ds.scanned {
+		return
+	}
+	for k, e := range ds.entries {
+		if e.path == path {
+			ds.total -= e.size
+			delete(ds.entries, k)
+			return
+		}
+	}
+}
+
+// scanLocked builds the index on first use: one walk over the cache
+// directory (flat entries and the 256 shard subdirectories), recording
+// each entry's size and mtime-as-atime.
+func (ds *diskStore) scanLocked() {
+	if ds.scanned {
+		return
+	}
+	ds.scanned = true
+	ds.entries = make(map[string]diskIdxEnt)
+	ds.total = 0
+	filepath.WalkDir(ds.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil // unreadable pieces just stay unaccounted
+		}
+		name := d.Name()
+		if filepath.Ext(name) != ".table" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		key := name[:len(name)-len(".table")]
+		// Prefer the sharded copy when both exist (mid-migration).
+		if prev, ok := ds.entries[key]; ok && prev.path == diskPath(ds.dir, key) {
+			return nil
+		}
+		if prev, ok := ds.entries[key]; ok {
+			ds.total -= prev.size
+		}
+		ds.entries[key] = diskIdxEnt{path: path, size: info.Size(), atime: info.ModTime()}
+		ds.total += info.Size()
+		return nil
+	})
+}
+
+// evictLocked removes oldest-atime entries (ties broken by key, so the
+// order is deterministic at equal timestamps) until the store fits the
+// budget.
+func (ds *diskStore) evictLocked(tel *telemetry.Sink) {
+	if ds.capBytes <= 0 || ds.total <= ds.capBytes {
+		return
+	}
+	keys := make([]string, 0, len(ds.entries))
+	for k := range ds.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := ds.entries[keys[i]], ds.entries[keys[j]]
+		if !a.atime.Equal(b.atime) {
+			return a.atime.Before(b.atime)
+		}
+		return keys[i] < keys[j]
+	})
+	for _, k := range keys {
+		if ds.total <= ds.capBytes {
+			return
+		}
+		e := ds.entries[k]
+		os.Remove(e.path) // best-effort; the accounting drops it either way
+		ds.total -= e.size
+		delete(ds.entries, k)
+		tel.Counter("diskcache.evictions").Inc()
+		tel.Counter("diskcache.bytes").Add(-e.size)
+	}
 }

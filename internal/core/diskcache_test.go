@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,17 +12,23 @@ import (
 	"testing"
 
 	"soctap/internal/soc"
+	"soctap/internal/tablecodec"
 	"soctap/internal/telemetry"
 )
 
-// cacheDirEntries lists the table files currently in dir.
+// cacheDirEntries lists the table files currently in dir — both the
+// sharded two-hex-char subdirectories and legacy flat entries.
 func cacheDirEntries(t *testing.T, dir string) []string {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join(dir, "*.table"))
+	flat, err := filepath.Glob(filepath.Join(dir, "*.table"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return matches
+	sharded, err := filepath.Glob(filepath.Join(dir, "??", "*.table"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(flat, sharded...)
 }
 
 // TestDiskCacheRoundTrip: a table that passed through the disk cache is
@@ -86,34 +94,26 @@ func TestDiskCacheCorruption(t *testing.T) {
 			}
 		}},
 		{"stale-version", func(t *testing.T, path string) {
-			// Re-encode the entry under a version tag this code no
-			// longer accepts.
-			tab, err := BuildTable(c, opts)
-			if err != nil {
-				t.Fatal(err)
-			}
-			dir := filepath.Dir(path)
-			key := contentKey(c, opts.normalized())
-			if err := storeDiskTable(dir, key, tab); err != nil {
-				t.Fatal(err)
-			}
+			// Rewrite the container header under a version this code no
+			// longer accepts, re-sealing the header CRC so ONLY the
+			// version is wrong — the rejection must come from the
+			// version check, not checksum luck.
 			data, err := os.ReadFile(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			// The version string appears verbatim in the gob stream;
-			// flip a byte inside it.
-			idx := -1
-			for i := 0; i+len(diskCacheVersion) <= len(data); i++ {
-				if string(data[i:i+len(diskCacheVersion)]) == diskCacheVersion {
-					idx = i
-					break
-				}
+			binary.LittleEndian.PutUint16(data[4:6], tablecodec.Version+1)
+			binary.LittleEndian.PutUint32(data[28:32], crc32.ChecksumIEEE(data[:28]))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
 			}
-			if idx < 0 {
-				t.Fatal("version tag not found in encoded entry")
+		}},
+		{"payload-bit-flip", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
 			}
-			data[idx+len(diskCacheVersion)-1]++
+			data[len(data)-2] ^= 0x10
 			if err := os.WriteFile(path, data, 0o644); err != nil {
 				t.Fatal(err)
 			}

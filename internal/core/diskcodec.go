@@ -1,0 +1,180 @@
+package core
+
+// Format v2 of the persistent table cache: the mapping between a Table
+// and a tablecodec.Payload (fixed-width bitpacked blocks + exception
+// list, see internal/tablecodec). Config fields become columns —
+// same-magnitude values packed together, so flags cost two bits and
+// widths a handful — codec names go through the payload's string
+// table, and the Meta blob carries the schema version, the content key
+// and the normalized options, checked on load before the table is
+// trusted. The encoding is exact: decode∘encode is the identity on
+// every table, bit for bit (gated by `make cachefmt`).
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"soctap/internal/soc"
+	"soctap/internal/tablecodec"
+)
+
+// tableMetaVersion tags the v2 schema inside the container's Meta
+// blob. Bump it (orphaning old entries) whenever the column layout or
+// the meaning of a Config changes.
+const tableMetaVersion = "soctap-table-v2"
+
+// tableColumns is the fixed column layout: flags (feasible|useTDC<<1),
+// codec string index, width, m, dict words, zigzagged time, zigzagged
+// volume. All numeric columns are zigzagged so any int value —
+// including defensive negatives — rounds exactly.
+const tableColumns = 7
+
+// encodeTableV2 serializes a table under its content key.
+func encodeTableV2(key string, t *Table) []byte {
+	slices := [4][]Config{t.NoTDC, t.TDCExact, t.TDCBest, t.Best}
+	total := 0
+	for _, s := range slices {
+		total += len(s)
+	}
+	strIdx := map[string]int{}
+	var strs []string
+	intern := func(s string) uint64 {
+		if i, ok := strIdx[s]; ok {
+			return uint64(i)
+		}
+		strIdx[s] = len(strs)
+		strs = append(strs, s)
+		return uint64(len(strs) - 1)
+	}
+	cols := make([][]uint64, tableColumns)
+	for i := range cols {
+		cols[i] = make([]uint64, 0, total)
+	}
+	for _, s := range slices {
+		for _, cfg := range s {
+			var flags uint64
+			if cfg.Feasible {
+				flags |= 1
+			}
+			if cfg.UseTDC {
+				flags |= 2
+			}
+			cols[0] = append(cols[0], flags)
+			cols[1] = append(cols[1], intern(cfg.Codec))
+			cols[2] = append(cols[2], tablecodec.ZigZag(int64(cfg.Width)))
+			cols[3] = append(cols[3], tablecodec.ZigZag(int64(cfg.M)))
+			cols[4] = append(cols[4], tablecodec.ZigZag(int64(cfg.DictWords)))
+			cols[5] = append(cols[5], tablecodec.ZigZag(cfg.Time))
+			cols[6] = append(cols[6], tablecodec.ZigZag(cfg.Volume))
+		}
+	}
+	meta := make([]byte, 0, 2*len(key))
+	meta = appendMetaString(meta, tableMetaVersion)
+	meta = appendMetaString(meta, key)
+	meta = binary.AppendUvarint(meta, uint64(t.Opts.MaxWidth))
+	meta = binary.AppendUvarint(meta, tablecodec.ZigZag(int64(t.Opts.BandSamples)))
+	return tablecodec.Encode(&tablecodec.Payload{Meta: meta, Strings: strs, Columns: cols})
+}
+
+// decodeTableV2 parses a v2 entry, validates it against the expected
+// (key, opts) identity, and re-attaches the requesting core (the
+// content key guarantees structural identity, exactly as v1 did).
+func decodeTableV2(data []byte, key string, c *soc.Core, opts TableOptions) (*Table, error) {
+	p, err := tablecodec.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	m := metaReader{data: p.Meta}
+	if v := m.string(); v != tableMetaVersion {
+		return nil, fmt.Errorf("stale schema %q (want %q)", v, tableMetaVersion)
+	}
+	if k := m.string(); k != key {
+		return nil, fmt.Errorf("entry key mismatch")
+	}
+	maxw := int(m.uvarint())
+	bands := int(tablecodec.UnZigZag(m.uvarint()))
+	if m.err {
+		return nil, fmt.Errorf("truncated metadata")
+	}
+	if maxw != opts.MaxWidth || bands != opts.BandSamples {
+		return nil, fmt.Errorf("entry options mismatch")
+	}
+	n := opts.MaxWidth + 1
+	if len(p.Columns) != tableColumns {
+		return nil, fmt.Errorf("%d columns (want %d)", len(p.Columns), tableColumns)
+	}
+	for i, col := range p.Columns {
+		if len(col) != 4*n {
+			return nil, fmt.Errorf("column %d holds %d values (want %d)", i, len(col), 4*n)
+		}
+	}
+	t := &Table{
+		Core:     c,
+		Opts:     opts,
+		NoTDC:    make([]Config, n),
+		TDCExact: make([]Config, n),
+		TDCBest:  make([]Config, n),
+		Best:     make([]Config, n),
+	}
+	for si, s := range [4][]Config{t.NoTDC, t.TDCExact, t.TDCBest, t.Best} {
+		for i := range s {
+			row := si*n + i
+			flags := p.Columns[0][row]
+			if flags > 3 {
+				return nil, fmt.Errorf("config %d: flags %#x out of range", row, flags)
+			}
+			ci := p.Columns[1][row]
+			if ci >= uint64(len(p.Strings)) {
+				return nil, fmt.Errorf("config %d: codec index %d out of range", row, ci)
+			}
+			s[i] = Config{
+				Feasible:  flags&1 != 0,
+				UseTDC:    flags&2 != 0,
+				Codec:     p.Strings[ci],
+				Width:     int(tablecodec.UnZigZag(p.Columns[2][row])),
+				M:         int(tablecodec.UnZigZag(p.Columns[3][row])),
+				DictWords: int(tablecodec.UnZigZag(p.Columns[4][row])),
+				Time:      tablecodec.UnZigZag(p.Columns[5][row]),
+				Volume:    tablecodec.UnZigZag(p.Columns[6][row]),
+			}
+		}
+	}
+	return t, nil
+}
+
+// appendMetaString frames s as uvarint length + bytes.
+func appendMetaString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// metaReader is a small sticky-error cursor over the Meta blob.
+type metaReader struct {
+	data []byte
+	off  int
+	err  bool
+}
+
+func (m *metaReader) uvarint() uint64 {
+	if m.err {
+		return 0
+	}
+	v, n := binary.Uvarint(m.data[m.off:])
+	if n <= 0 {
+		m.err = true
+		return 0
+	}
+	m.off += n
+	return v
+}
+
+func (m *metaReader) string() string {
+	n := m.uvarint()
+	if m.err || n > uint64(len(m.data)-m.off) {
+		m.err = true
+		return ""
+	}
+	s := string(m.data[m.off : m.off+int(n)])
+	m.off += int(n)
+	return s
+}

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,18 +32,22 @@ func stageFault(t *testing.T, stage string) {
 	t.Cleanup(func() { diskFault = nil })
 }
 
-// tmpFiles lists leftover temp files in the cache dir.
+// tmpFiles lists leftover temp files anywhere under the cache dir
+// (entries write their temp files inside the shard subdirectory).
 func tmpFiles(t *testing.T, dir string) []string {
 	t.Helper()
-	all, err := os.ReadDir(dir)
+	var tmps []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			tmps = append(tmps, path)
+		}
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
-	}
-	var tmps []string
-	for _, e := range all {
-		if strings.HasPrefix(e.Name(), ".tmp-") {
-			tmps = append(tmps, e.Name())
-		}
 	}
 	return tmps
 }

@@ -553,194 +553,3 @@ func SweepTDCContext(ctx context.Context, c *soc.Core, lo, hi, workers int) ([]C
 	}
 	return out, nil
 }
-
-// Cache memoizes lookup tables across optimizer runs. Tables are keyed
-// by a hash of the core's structural content plus the normalized option
-// set (excluding Workers, which does not affect contents), so
-// structurally identical cores — e.g. the same design file parsed twice
-// — share one entry. The zero value is ready to use.
-//
-// Get is singleflight: concurrent callers asking for the same key block
-// on one build instead of duplicating it.
-//
-// SetDir layers a persistent on-disk store (see diskcache.go) under the
-// in-memory map: misses consult the directory before building, and
-// fresh builds are written back for future processes.
-type Cache struct {
-	mu     sync.Mutex
-	tables map[string]*cacheEntry
-	dir    string // optional on-disk layer; "" = memory only
-	warn   func(msg string)
-
-	// buildHook, when non-nil, observes every table build the cache
-	// actually starts (test instrumentation; disk-cache hits do not
-	// count as builds). Set it before any Get.
-	buildHook func(*soc.Core, TableOptions)
-}
-
-type cacheEntry struct {
-	done chan struct{} // closed when t/err are valid
-	t    *Table
-	err  error
-}
-
-// SetDir attaches a persistent on-disk table store at dir (created on
-// first write). Entries found there satisfy Get without a rebuild;
-// tables built after this call are written back, best-effort. Call it
-// before concurrent use.
-func (cc *Cache) SetDir(dir string) {
-	cc.mu.Lock()
-	cc.dir = dir
-	cc.mu.Unlock()
-}
-
-// SetWarn installs a callback for the disk store's otherwise-silent
-// failure modes: corrupt, stale or mismatched entries (rebuilt in
-// place) and failed write-backs. fn may be called from any goroutine
-// the cache is used on; nil disables warnings. Call it before
-// concurrent use.
-func (cc *Cache) SetWarn(fn func(msg string)) {
-	cc.mu.Lock()
-	cc.warn = fn
-	cc.mu.Unlock()
-}
-
-// warnf formats a warning through the SetWarn callback, if any.
-func (cc *Cache) warnf(format string, args ...any) {
-	cc.mu.Lock()
-	fn := cc.warn
-	cc.mu.Unlock()
-	if fn != nil {
-		fn(fmt.Sprintf(format, args...))
-	}
-}
-
-// Get returns the memoized table for (c, opts), building it on first
-// use. Concurrent calls with the same key wait for the single build in
-// flight; a deterministic build error is cached (BuildTable is
-// deterministic, so retrying cannot succeed), while cancellations and
-// contained panics evict the entry so a later Get rebuilds.
-func (cc *Cache) Get(c *soc.Core, opts TableOptions) (*Table, error) {
-	return cc.get(context.Background(), c, opts, nil)
-}
-
-// GetContext is Get governed by ctx: both the build itself and the wait
-// of callers coalesced onto someone else's in-flight build observe
-// cancellation. A waiter whose ctx ends returns ctx.Err() immediately;
-// the build it was waiting on is unaffected. A nil ctx behaves like
-// context.Background().
-func (cc *Cache) GetContext(ctx context.Context, c *soc.Core, opts TableOptions) (*Table, error) {
-	return cc.get(ctx, c, opts, nil)
-}
-
-// GetInstrumented is Get with telemetry: cache probes and any resulting
-// build are counted into tel's cache.*/diskcache.*/eval.* registries.
-// A nil tel makes it identical to Get.
-func (cc *Cache) GetInstrumented(c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
-	return cc.get(context.Background(), c, opts, tel)
-}
-
-// GetInstrumentedContext combines GetContext and GetInstrumented.
-func (cc *Cache) GetInstrumentedContext(ctx context.Context, c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
-	return cc.get(ctx, c, opts, tel)
-}
-
-// get is Get with an optional telemetry sink: memory- and disk-layer
-// probes are counted (hits, misses, corrupt rebuilds, write errors) —
-// exactly once per event, deterministically for any worker count,
-// because the singleflight entry install serializes who counts the
-// miss.
-func (cc *Cache) get(ctx context.Context, c *soc.Core, opts TableOptions, tel *telemetry.Sink) (*Table, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	opts = opts.withDefaults()
-	key := contentKey(c, opts.normalized())
-	cc.mu.Lock()
-	if cc.tables == nil {
-		cc.tables = make(map[string]*cacheEntry)
-	}
-	dir := cc.dir
-	e, ok := cc.tables[key]
-	if ok {
-		cc.mu.Unlock()
-		tel.Counter("cache.mem_hits").Inc()
-		return e.wait(ctx)
-	}
-	e = &cacheEntry{done: make(chan struct{})}
-	cc.tables[key] = e
-	cc.mu.Unlock()
-	tel.Counter("cache.mem_misses").Inc()
-
-	cc.build(ctx, e, key, dir, c, opts, tel)
-	return e.t, e.err
-}
-
-// wait blocks until the entry's build completes or ctx ends. Bailing
-// out early leaves the build (owned by another caller) running; this
-// waiter just stops waiting for it.
-func (e *cacheEntry) wait(ctx context.Context) (*Table, error) {
-	if ctx.Done() == nil {
-		<-e.done
-		return e.t, e.err
-	}
-	select {
-	case <-e.done:
-		return e.t, e.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	}
-}
-
-// build populates a freshly installed singleflight entry: disk-layer
-// probe, then the in-memory build, then the best-effort write-back.
-//
-// The deferred epilogue is the fix for the cache-poisoning deadlock:
-// e.done is ALWAYS closed — even when the build panics — so waiters can
-// never block forever on a dead build. A panic is converted to a
-// *PanicError (with the core attached) instead of unwinding into the
-// caller, and any uncacheable outcome (panic or cancellation) evicts
-// the entry from the map so future Gets start a fresh build rather than
-// inheriting a failure that says nothing about the table itself.
-func (cc *Cache) build(ctx context.Context, e *cacheEntry, key, dir string, c *soc.Core, opts TableOptions, tel *telemetry.Sink) {
-	defer func() {
-		if r := recover(); r != nil {
-			tel.Counter("panic.recovered").Inc()
-			e.t, e.err = nil, newPanicError(c.Name, "table build", r)
-		}
-		if uncacheable(e.err) {
-			cc.mu.Lock()
-			if cc.tables[key] == e {
-				delete(cc.tables, key)
-			}
-			cc.mu.Unlock()
-		}
-		close(e.done)
-	}()
-
-	if dir != "" {
-		t, status, reason := loadDiskTable(dir, key, c, opts.normalized())
-		switch status {
-		case diskHit:
-			tel.Counter("diskcache.hits").Inc()
-			e.t = t
-			return
-		case diskMiss:
-			tel.Counter("diskcache.misses").Inc()
-		case diskCorrupt:
-			tel.Counter("diskcache.corrupt_rebuilds").Inc()
-			cc.warnf("table cache: corrupt entry %s rebuilt: %v", diskPath(dir, key), reason)
-		}
-	}
-	if cc.buildHook != nil {
-		cc.buildHook(c, opts)
-	}
-	e.t, e.err = buildTable(ctx, c, opts, tel)
-	if e.err == nil && dir != "" {
-		// Best-effort: a failed write only costs a rebuild next run.
-		if err := storeDiskTable(dir, key, e.t); err != nil {
-			tel.Counter("diskcache.write_errors").Inc()
-			cc.warnf("table cache: writing %s: %v", diskPath(dir, key), err)
-		}
-	}
-}

@@ -93,6 +93,16 @@ type Options struct {
 	// or truncated entries are rebuilt (observable through the telemetry
 	// counters and Cache.SetWarn).
 	TableCacheDir string
+	// TableCacheMemBytes bounds the in-memory table cache to roughly
+	// this many resident bytes (0 = unbounded): past the budget the
+	// least-recently-used tables are evicted, costing at most a disk
+	// reload or rebuild on the next request. Applies to the run's Cache
+	// (implicit or supplied).
+	TableCacheMemBytes int64
+	// TableCacheDiskBytes bounds the on-disk store under TableCacheDir
+	// to this many bytes (0 = unbounded), enforced by oldest-access
+	// eviction on write-back.
+	TableCacheDiskBytes int64
 	// Telemetry, when non-nil, is the parent span this run records
 	// under: phase spans (tables with one child per core, search with
 	// k-sweep/refine/merge children, schedule) plus the subsystem
@@ -185,11 +195,19 @@ func OptimizeContext(ctx context.Context, s *soc.SOC, wtam int, opts Options) (r
 	if tabOpts.Workers == 0 {
 		tabOpts.Workers = opts.Workers
 	}
-	if opts.TableCacheDir != "" {
+	if opts.TableCacheDir != "" || opts.TableCacheMemBytes > 0 || opts.TableCacheDiskBytes > 0 {
 		if opts.Cache == nil {
 			opts.Cache = new(Cache)
 		}
-		opts.Cache.SetDir(opts.TableCacheDir)
+		if opts.TableCacheMemBytes > 0 {
+			opts.Cache.SetMemLimit(opts.TableCacheMemBytes)
+		}
+		if opts.TableCacheDiskBytes > 0 {
+			opts.Cache.SetDiskLimit(opts.TableCacheDiskBytes)
+		}
+		if opts.TableCacheDir != "" {
+			opts.Cache.SetDir(opts.TableCacheDir)
+		}
 	}
 	if opts.TelemetryWriter != nil && opts.Telemetry == nil {
 		opts.Telemetry = telemetry.New().Root()

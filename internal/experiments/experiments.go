@@ -42,6 +42,20 @@ func SetWorkers(n int) { engineWorkers = n }
 // -table-cache flag here.
 func SetTableCacheDir(dir string) { sharedCache.SetDir(dir) }
 
+// SetTableCacheLimits bounds the shared table cache: memBytes caps the
+// in-memory tier (LRU eviction of resident tables), diskBytes caps the
+// on-disk store under SetTableCacheDir (oldest-access eviction on
+// write-back). Zero leaves the respective tier unbounded. cmd/repro
+// wires its -table-cache-mem/-table-cache-size flags here.
+func SetTableCacheLimits(memBytes, diskBytes int64) {
+	if memBytes > 0 {
+		sharedCache.SetMemLimit(memBytes)
+	}
+	if diskBytes > 0 {
+		sharedCache.SetDiskLimit(diskBytes)
+	}
+}
+
 // telSink receives phase spans and counters from every subsequent
 // experiment run; nil (the default) disables instrumentation at zero
 // cost. cmd/repro wires its -telemetry/-telemetry-text flags here.

@@ -140,6 +140,51 @@ func (sn *Snapshot) pruningRates() []pruneRow {
 	return rows
 }
 
+// cacheRow is one line of the cache-tier table: hit/miss/eviction
+// traffic and resident bytes of one tier of the table cache.
+type cacheRow struct {
+	tier      string
+	hits      int64
+	misses    int64
+	evictions int64
+	bytes     int64
+}
+
+// cacheTiers extracts the table-cache tier summary from the `cache.*`
+// (in-memory tier) and `diskcache.*` (on-disk tier) counters. A tier
+// appears only when at least one of its counters was registered, so
+// runs without a cache render no table at all.
+func (sn *Snapshot) cacheTiers() []cacheRow {
+	rows := make([]cacheRow, 0, 2)
+	add := func(tier, prefix, hits, misses string) {
+		r := cacheRow{tier: tier}
+		seen := false
+		for name, v := range sn.Counters {
+			rest, ok := strings.CutPrefix(name, prefix)
+			if !ok {
+				continue
+			}
+			seen = true
+			switch rest {
+			case hits:
+				r.hits = v
+			case misses:
+				r.misses = v
+			case "evictions":
+				r.evictions = v
+			case "bytes":
+				r.bytes = v
+			}
+		}
+		if seen {
+			rows = append(rows, r)
+		}
+	}
+	add("memory", "cache.", "mem_hits", "mem_misses")
+	add("disk", "diskcache.", "hits", "misses")
+	return rows
+}
+
 // WriteJSON writes the snapshot as indented JSON. encoding/json sorts
 // map keys, so the byte layout is stable run to run (timing values
 // aside) — diffable and machine-consumable.
@@ -213,6 +258,22 @@ func (sn *Snapshot) Render(w io.Writer) error {
 		for _, r := range rows {
 			tab.Add(r.core, fmt.Sprint(r.pruned), fmt.Sprint(r.evals),
 				fmt.Sprintf("%.1f%%", r.rate*100))
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if rows := sn.cacheTiers(); len(rows) > 0 {
+		tab := report.NewTable("\ntable cache tiers",
+			"tier", "hits", "misses", "hit rate", "evictions", "resident bytes")
+		for _, r := range rows {
+			rate := "-"
+			if total := r.hits + r.misses; total > 0 {
+				rate = fmt.Sprintf("%.1f%%", float64(r.hits)/float64(total)*100)
+			}
+			tab.Add(r.tier, fmt.Sprint(r.hits), fmt.Sprint(r.misses), rate,
+				fmt.Sprint(r.evictions), fmt.Sprint(r.bytes))
 		}
 		if err := tab.Render(w); err != nil {
 			return err

@@ -294,3 +294,52 @@ func TestRenderPruningRates(t *testing.T) {
 		t.Fatal("pruning section rendered without pruning counters")
 	}
 }
+
+// TestRenderCacheTiers: the snapshot text report summarizes the table
+// cache per tier — hit traffic, hit rate, evictions, resident bytes —
+// from the cache.* and diskcache.* counters, one row per tier that
+// actually reported.
+func TestRenderCacheTiers(t *testing.T) {
+	s := New()
+	s.Counter("cache.mem_hits").Add(90)
+	s.Counter("cache.mem_misses").Add(10)
+	s.Counter("cache.evictions").Add(3)
+	s.Counter("cache.bytes").Add(4096)
+	s.Counter("diskcache.hits").Add(7)
+	s.Counter("diskcache.misses").Add(3)
+	s.Counter("diskcache.bytes").Add(1406)
+	s.Counter("search.memo_hits").Add(5) // must not produce a row
+	var buf bytes.Buffer
+	if err := s.Snapshot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table cache tiers", "memory", "90.0%", "disk", "70.0%", "4096", "1406"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, out)
+		}
+	}
+
+	// The disk tier alone still renders; the memory row stays absent.
+	one := New()
+	one.Counter("diskcache.hits").Add(1)
+	var buf2 bytes.Buffer
+	if err := one.Snapshot().Render(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "table cache tiers") {
+		t.Fatal("cache-tier section missing with only disk counters")
+	}
+	if strings.Contains(buf2.String(), "memory") {
+		t.Fatal("memory row rendered without cache.* counters")
+	}
+
+	// No cache counters at all: no section.
+	var empty bytes.Buffer
+	if err := New().Snapshot().Render(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "table cache tiers") {
+		t.Fatal("cache-tier section rendered without cache counters")
+	}
+}

@@ -1,0 +1,97 @@
+// Package units parses and formats human byte sizes for the cache
+// bound flags (-table-cache-mem, -table-cache-size): "256M", "2GiB",
+// "1024" and friends. Suffixes are binary (K = KiB = 1024) — cache
+// budgets, not disk-marketing sizes — and case-insensitive, with an
+// optional "B"/"iB" tail.
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// suffixes maps a normalized (upper-case, B/iB-stripped) unit to its
+// multiplier.
+var suffixes = map[string]int64{
+	"":  1,
+	"K": 1 << 10,
+	"M": 1 << 20,
+	"G": 1 << 30,
+	"T": 1 << 40,
+}
+
+// ParseBytes converts a human size ("64M", "2GiB", "1536K", "100000")
+// to bytes. The empty string and "0" mean zero (unbounded for the cache
+// flags). Fractional values are allowed with a unit ("1.5G") and
+// truncate toward zero.
+func ParseBytes(s string) (int64, error) {
+	in := strings.TrimSpace(s)
+	if in == "" {
+		return 0, nil
+	}
+	u := strings.ToUpper(in)
+	u = strings.TrimSuffix(u, "IB")
+	u = strings.TrimSuffix(u, "B")
+	num := u
+	unit := ""
+	if n := len(u); n > 0 {
+		if c := u[n-1]; c < '0' || c > '9' {
+			num, unit = u[:n-1], u[n-1:]
+		}
+	}
+	mult, ok := suffixes[unit]
+	if !ok {
+		return 0, fmt.Errorf("units: unknown size suffix in %q", s)
+	}
+	if num == "" {
+		return 0, fmt.Errorf("units: no number in %q", s)
+	}
+	if mult == 1 || !strings.Contains(num, ".") {
+		v, err := strconv.ParseInt(num, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+		}
+		if v < 0 {
+			return 0, fmt.Errorf("units: negative size %q", s)
+		}
+		if mult > 1 && v > (1<<63-1)/mult {
+			return 0, fmt.Errorf("units: size %q overflows", s)
+		}
+		return v * mult, nil
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad size %q: %w", s, err)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("units: negative size %q", s)
+	}
+	v := f * float64(mult)
+	if v >= 1<<63 {
+		return 0, fmt.Errorf("units: size %q overflows", s)
+	}
+	return int64(v), nil
+}
+
+// FormatBytes renders n with the largest binary suffix that divides it
+// cleanly enough to read ("64.0M", "1.5G", "512"), matching the inputs
+// ParseBytes accepts.
+func FormatBytes(n int64) string {
+	if n < 1<<10 {
+		return strconv.FormatInt(n, 10)
+	}
+	for _, u := range []struct {
+		name string
+		mult int64
+	}{{"T", 1 << 40}, {"G", 1 << 30}, {"M", 1 << 20}, {"K", 1 << 10}} {
+		if n >= u.mult {
+			v := float64(n) / float64(u.mult)
+			if v == float64(int64(v)) {
+				return fmt.Sprintf("%d%s", int64(v), u.name)
+			}
+			return fmt.Sprintf("%.1f%s", v, u.name)
+		}
+	}
+	return strconv.FormatInt(n, 10)
+}
