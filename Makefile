@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke bench-json telemetry-overhead kernel-equivalence robustness cachefmt
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json bench-big bench-big-smoke telemetry-overhead kernel-equivalence robustness cachefmt
 
 # check is the tier-1 gate: everything must pass before a change lands.
 # A PR that touches the kernels or the sweep should also refresh the
 # dated benchmark archive with `make bench-json` and note the numbers.
-check: vet build test race bench-smoke telemetry-overhead kernel-equivalence robustness cachefmt
+check: vet build test race bench-smoke bench-big-smoke telemetry-overhead kernel-equivalence robustness cachefmt
 
 vet:
 	$(GO) vet ./...
@@ -50,14 +50,36 @@ bench-json:
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 	@echo wrote BENCH_$$(date +%Y-%m-%d).json
 
+# bench-big runs the giant-profile streaming workload: every core of a
+# 48-core, million-cube design priced through the window-64 streaming
+# evaluator (cubes/s, cores/s, peak heap high-water), plus the
+# streamed-vs-materialized >=10x memory acceptance test. Results merge
+# into the dated benchmark archive next to the bench-json headliners.
+bench-big:
+	SOCTAP_GIANT=1 $(GO) test -run TestStreamingPeakMemoryGiant -count=1 -v -timeout 1800s ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamGiantSweep$$' -benchtime 1x -benchmem -timeout 1800s ./internal/core \
+	| $(GO) run ./cmd/benchjson -merge -o BENCH_$$(date +%Y-%m-%d).json
+	@echo merged into BENCH_$$(date +%Y-%m-%d).json
+
+# bench-big-smoke is the tier-1 slice of bench-big: the same sweep on a
+# scaled-down member of the giant family, plus the window-proportional
+# peak-memory gate (streamed evaluator footprint must stay O(window),
+# far under the materialized whole-set footprint).
+bench-big-smoke:
+	$(GO) test -run 'TestStreamingPeakMemorySmoke' -count=1 ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamGiantSweep$$' -benchtime 1x -short ./internal/core
+
 # kernel-equivalence asserts the word-parallel kernel and sweep-pruning
 # exactness contracts: both plane-building paths agree with each other
 # and with the real encoder, pruned tables are deeply equal to unpruned
 # ones on every d695/industrial core, steady-state tdcCost runs at 0
-# allocs/op on both paths, and the fuzz seed corpora for the word and
-# codec kernels still pass.
+# allocs/op on both paths, tables built through the streaming window
+# evaluator are deeply equal to resident builds at every window and
+# worker count (including the window-boundary fuzz seeds), and the fuzz
+# seed corpora for the word and codec kernels still pass.
 kernel-equivalence:
 	$(GO) test -run 'TestKernelPathsAgree|TestKernelSteadyStateZeroAlloc|TestBuildTablePruningGoldenEquivalence|TestEvalTDCMatchesRealEncoder' -count=1 ./internal/core
+	$(GO) test -run 'TestStreamingTableEquivalence|TestStreamingEvaluatorEquivalence|TestEvalWindowValidation|TestStreamingWindowTelemetry|FuzzStreamingWindowEquivalence' -count=1 ./internal/core
 	$(GO) test -run 'FuzzWordKernels' -count=1 ./internal/bitvec
 	$(GO) test -run 'FuzzEncodeDecodeRoundTrip|FuzzDecodeStream' -count=1 ./internal/selenc
 

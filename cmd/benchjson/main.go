@@ -33,6 +33,7 @@ type Benchmark struct {
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	PeakBytes   int64              `json:"peak_bytes,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -47,6 +48,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	merge := flag.Bool("merge", false,
+		"merge into an existing -o report: same (pkg, name) results are replaced, new ones appended")
 	flag.Parse()
 
 	// benchjson usually sits at the end of a pipe from a long `go test
@@ -90,6 +93,11 @@ func main() {
 	}
 	if len(rep.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+	if *merge && *out != "" {
+		if err := mergeExisting(*out, &rep); err != nil {
+			fatal(err)
+		}
 	}
 
 	w := os.Stdout
@@ -145,6 +153,11 @@ func parseLine(line string) (Benchmark, bool) {
 			b.BytesPerOp = int64(v)
 		case "allocs/op":
 			b.AllocsPerOp = int64(v)
+		case "peak-bytes":
+			// High-water heap mark reported by the streaming-evaluator
+			// benches; a first-class field so memory trajectories diff
+			// cleanly across commits.
+			b.PeakBytes = int64(v)
 		default:
 			if b.Metrics == nil {
 				b.Metrics = make(map[string]float64)
@@ -153,6 +166,36 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, true
+}
+
+// mergeExisting folds a prior report at path into rep: prior results
+// whose (pkg, name) was not re-run this time are kept, in their
+// original order, ahead of the new results. A missing file is not an
+// error — the merge degenerates to a plain write.
+func mergeExisting(path string, rep *Report) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("merge target %s: %w", path, err)
+	}
+	rerun := make(map[string]bool, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		rerun[b.Pkg+" "+b.Name] = true
+	}
+	kept := old.Benchmarks[:0]
+	for _, b := range old.Benchmarks {
+		if !rerun[b.Pkg+" "+b.Name] {
+			kept = append(kept, b)
+		}
+	}
+	rep.Benchmarks = append(kept, rep.Benchmarks...)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkTDCCostKernel-8   \t 2977206\t       399.1 ns/op\t       0 B/op\t       0 allocs/op")
@@ -23,6 +29,22 @@ func TestParseLine(t *testing.T) {
 		t.Errorf("metrics = %v", b.Metrics)
 	}
 
+	// The streaming benches report their heap high-water mark as
+	// peak-bytes; it is a first-class field, not a generic metric.
+	b, ok = parseLine("BenchmarkStreamGiant-8   1  9e9 ns/op  123456 peak-bytes  8.5 cubes/s")
+	if !ok {
+		t.Fatal("peak-bytes line not parsed")
+	}
+	if b.PeakBytes != 123456 {
+		t.Errorf("PeakBytes = %d, want 123456", b.PeakBytes)
+	}
+	if _, generic := b.Metrics["peak-bytes"]; generic {
+		t.Error("peak-bytes leaked into Metrics")
+	}
+	if b.Metrics["cubes/s"] != 8.5 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+
 	for _, bad := range []string{
 		"goos: linux",
 		"PASS",
@@ -32,5 +54,57 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(bad); ok {
 			t.Errorf("parseLine(%q) accepted, want skip", bad)
 		}
+	}
+}
+
+// TestMergeExisting: re-run results replace their prior entry, prior
+// results not re-run survive ahead of the new ones, and a missing
+// merge target degenerates to a plain write.
+func TestMergeExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	old := Report{
+		Date: "2026-08-01", GoOS: "linux", GoArch: "amd64",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkA", Pkg: "p1", Iterations: 10, NsPerOp: 1},
+			{Name: "BenchmarkB", Pkg: "p1", Iterations: 20, NsPerOp: 2},
+		},
+	}
+	data, err := json.Marshal(&old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := Report{
+		Date: "2026-08-08",
+		Benchmarks: []Benchmark{
+			{Name: "BenchmarkB", Pkg: "p1", Iterations: 99, NsPerOp: 3}, // re-run
+			{Name: "BenchmarkC", Pkg: "p2", Iterations: 1, NsPerOp: 4},  // new
+		},
+	}
+	if err := mergeExisting(path, &rep); err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"}
+	var names []string
+	for _, b := range rep.Benchmarks {
+		names = append(names, b.Name)
+	}
+	if !reflect.DeepEqual(names, wantNames) {
+		t.Fatalf("merged order %v, want %v", names, wantNames)
+	}
+	if rep.Benchmarks[1].Iterations != 99 {
+		t.Error("re-run result did not replace the prior entry")
+	}
+
+	fresh := Report{Benchmarks: []Benchmark{{Name: "BenchmarkA"}}}
+	if err := mergeExisting(filepath.Join(dir, "absent.json"), &fresh); err != nil {
+		t.Fatalf("missing merge target: %v", err)
+	}
+	if len(fresh.Benchmarks) != 1 {
+		t.Error("missing merge target disturbed the report")
 	}
 }

@@ -7,8 +7,15 @@
 //	socgen -cores 8 -seed 42 -o mydesign.soc
 //	socgen -profile industrial -cores 6        # compression-ready cores
 //	socgen -profile iscas -cores 10            # dense, few long chains
+//	socgen -profile giant -cores 48            # ~1M cubes: streaming-scale
+//	socgen -profile giant -cores 2000 -o huge.soc
+//	socgen -profile giant -cores 8 -patterns 4000 -scale 0.25   # trimmed giant
 //
-// Output is deterministic in the seed.
+// The giant profile emits production-scale cores (tens of thousands of
+// scan cells and patterns each) intended for the streaming evaluator
+// path; -patterns overrides every core's pattern count and -scale
+// multiplies the scan structure, which together turn any profile into a
+// size family. Output is deterministic in the seed.
 package main
 
 import (
@@ -16,7 +23,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,14 +33,12 @@ import (
 func main() {
 	nCores := flag.Int("cores", 6, "number of cores")
 	seed := flag.Int64("seed", 1, "generator seed")
-	profile := flag.String("profile", "industrial", "core profile: industrial (sparse, many short chains) or iscas (dense, few long chains)")
+	profile := flag.String("profile", "industrial", "core profile: industrial (sparse, many short chains), iscas (dense, few long chains), or giant (streaming-scale cores, millions of cubes)")
 	name := flag.String("name", "synth", "SOC name")
+	patterns := flag.Int("patterns", 0, "override per-core pattern count (0 = profile default)")
+	scale := flag.Float64("scale", 0, "scan-structure size multiplier (0 = 1)")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
-
-	if *nCores < 1 {
-		fatal(fmt.Errorf("need at least one core"))
-	}
 
 	// SIGINT/SIGTERM abort generation between cores; a second signal
 	// kills the process immediately.
@@ -45,7 +49,14 @@ func main() {
 		stop()
 	}()
 
-	s, err := generate(ctx, *name, *profile, *nCores, *seed)
+	s, err := soc.Synthesize(ctx, soc.SynthSpec{
+		Name:     *name,
+		Profile:  *profile,
+		Cores:    *nCores,
+		Seed:     *seed,
+		Patterns: *patterns,
+		Scale:    *scale,
+	})
 	if errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "socgen: interrupted:", err)
 		os.Exit(130)
@@ -71,72 +82,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "socgen:", err)
 	os.Exit(1)
-}
-
-// generate draws nCores random cores of the requested profile.
-func generate(ctx context.Context, name, profile string, nCores int, seed int64) (*soc.SOC, error) {
-	rng := rand.New(rand.NewSource(seed))
-	s := &soc.SOC{Name: name}
-	for i := 0; i < nCores; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var c *soc.Core
-		switch profile {
-		case "industrial":
-			cells := 8000 + rng.Intn(60000)
-			chainLen := 40 + rng.Intn(40)
-			nChains := cells / chainLen
-			c = &soc.Core{
-				Name:         fmt.Sprintf("core-%d", i+1),
-				Inputs:       50 + rng.Intn(400),
-				Outputs:      50 + rng.Intn(350),
-				Bidirs:       rng.Intn(32),
-				ScanChains:   balanced(cells, nChains),
-				Patterns:     100 + rng.Intn(250),
-				Gates:        cells * 12,
-				CareDensity:  0.01 + rng.Float64()*0.04,
-				Clustering:   0.6 + rng.Float64()*0.3,
-				DensityDecay: 0.5 + rng.Float64()*0.4,
-				Seed:         seed*1000 + int64(i),
-			}
-		case "iscas":
-			cells := 100 + rng.Intn(2000)
-			nChains := 1 + rng.Intn(32)
-			c = &soc.Core{
-				Name:         fmt.Sprintf("core-%d", i+1),
-				Inputs:       20 + rng.Intn(200),
-				Outputs:      10 + rng.Intn(300),
-				ScanChains:   balanced(cells, nChains),
-				Patterns:     20 + rng.Intn(220),
-				Gates:        cells * 10,
-				CareDensity:  0.35 + rng.Float64()*0.3,
-				Clustering:   0.2 + rng.Float64()*0.3,
-				DensityDecay: rng.Float64() * 0.5,
-				Seed:         seed*1000 + int64(i),
-			}
-		default:
-			return nil, fmt.Errorf("unknown profile %q", profile)
-		}
-		s.Cores = append(s.Cores, c)
-	}
-	return s, s.Validate()
-}
-
-func balanced(total, n int) []int {
-	if n < 1 {
-		n = 1
-	}
-	if n > total {
-		n = total
-	}
-	chains := make([]int, n)
-	base, rem := total/n, total%n
-	for i := range chains {
-		chains[i] = base
-		if i < rem {
-			chains[i]++
-		}
-	}
-	return chains
 }

@@ -70,44 +70,69 @@ func Build(res *core.Result) (*Image, error) {
 }
 
 // coreStream re-encodes one core's stimuli under a configuration.
+// Patterns are pulled one at a time from the core's cube stream: the
+// selective-encoding and direct codecs hold only O(pattern) scratch
+// beyond the output stream itself, so giant cores re-encode without
+// their test set ever being resident. (The dictionary codec inherently
+// needs every slice to build its dictionary and keeps them all.)
 func coreStream(c *soc.Core, cfg core.Config) (*bitvec.Vector, error) {
 	d, err := wrapper.New(c, cfg.M)
 	if err != nil {
 		return nil, err
 	}
-	ts, err := c.TestSet()
+	src, err := c.TestSource()
 	if err != nil {
 		return nil, err
 	}
 	refs := d.StimulusMap()
 	si := d.ScanIn
 
-	perPattern := make([][][]selenc.CareBit, ts.Len())
-	for pi, cb := range ts.Cubes {
-		slices := make([][]selenc.CareBit, si)
-		for _, bit := range cb.Care {
-			r := refs[bit.Pos]
-			slices[r.Depth] = append(slices[r.Depth], selenc.CareBit{Pos: int(r.Chain), Value: bit.Value})
-		}
-		for _, s := range slices {
-			sortCare(s)
-		}
-		perPattern[pi] = slices
-	}
-
 	switch cfg.Codec {
 	case core.CodecSelEnc:
+		// Scatter each pattern's care bits into reusable per-slice word
+		// planes and encode straight off the masks — the mask encoder
+		// needs no sorted care lists and the codeword buffer grows in
+		// place via the append form.
+		nw := (cfg.M + 63) / 64
+		careW := make([]uint64, si*nw)
+		valueW := make([]uint64, si*nw)
 		var cws []selenc.Codeword
-		for _, slices := range perPattern {
-			for _, s := range slices {
-				cws = append(cws, selenc.EncodeSlice(cfg.M, s)...)
+		for {
+			cb, ok := src.Next()
+			if !ok {
+				break
+			}
+			clear(careW)
+			clear(valueW)
+			for _, bit := range cb.Care {
+				r := refs[bit.Pos]
+				wi := int(r.Depth)*nw + int(r.Chain)>>6
+				mask := uint64(1) << uint(r.Chain&63)
+				careW[wi] |= mask
+				if bit.Value {
+					valueW[wi] |= mask
+				}
+			}
+			for depth := 0; depth < si; depth++ {
+				cws = selenc.AppendEncodeSliceMask(cws, cfg.M,
+					careW[depth*nw:(depth+1)*nw], valueW[depth*nw:(depth+1)*nw])
 			}
 		}
 		return selenc.PackStream(cfg.M, cws), nil
 	case core.CodecDict:
 		var all []dictenc.Slice
-		for _, slices := range perPattern {
+		for {
+			cb, ok := src.Next()
+			if !ok {
+				break
+			}
+			slices := make([][]selenc.CareBit, si)
+			for _, bit := range cb.Care {
+				r := refs[bit.Pos]
+				slices[r.Depth] = append(slices[r.Depth], selenc.CareBit{Pos: int(r.Chain), Value: bit.Value})
+			}
 			for _, s := range slices {
+				sortCare(s)
 				all = append(all, s)
 			}
 		}
@@ -125,17 +150,20 @@ func coreStream(c *soc.Core, cfg core.Config) (*bitvec.Vector, error) {
 		}
 		return v, nil
 	case core.CodecDirect:
-		// Raw scan slices, X filled with 0, slice-major delivery.
-		v := bitvec.New(ts.Len() * si * cfg.M)
-		pos := 0
-		for _, slices := range perPattern {
-			for _, s := range slices {
-				for _, cb := range s {
-					if cb.Value {
-						v.Set(pos+cb.Pos, true)
-					}
+		// Raw scan slices, X filled with 0, slice-major delivery. Each
+		// care bit's output position follows from its (chain, depth)
+		// cell directly, so no per-slice staging is needed.
+		v := bitvec.New(src.Len() * si * cfg.M)
+		for pi := 0; ; pi++ {
+			cb, ok := src.Next()
+			if !ok {
+				break
+			}
+			base := pi * si * cfg.M
+			for _, bit := range cb.Care {
+				if r := refs[bit.Pos]; bit.Value {
+					v.Set(base+int(r.Depth)*cfg.M+int(r.Chain), true)
 				}
-				pos += cfg.M
 			}
 		}
 		return v, nil

@@ -88,13 +88,6 @@ func bruteForceOptimum(t *testing.T, s *soc.SOC, wtam int, style Style) int64 {
 	return best
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func tinySOC(seed int64) *soc.SOC {
 	mk := func(name string, nChains, chainLen, pat int, density float64, s int64) *soc.Core {
 		chains := make([]int, nChains)

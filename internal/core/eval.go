@@ -16,6 +16,8 @@ package core
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 
 	"soctap/internal/cube"
 	"soctap/internal/selenc"
@@ -53,23 +55,55 @@ func (c Config) better(o Config) bool {
 	return c.Volume < o.Volume
 }
 
+// Residency-mode constants of the evaluator. An evaluator either holds
+// the whole test set resident (the historical path: cubes materialized
+// once, flat planes cached across the sweep) or streams it from a
+// cube.Source in bounded windows, pricing each window and recycling the
+// buffers — O(window) peak memory instead of O(test set), with results
+// bit-identical to the resident path (DeepEqual-gated in the tests).
+const (
+	// DefaultEvalWindow is the window size (in cubes) the streaming path
+	// uses when a caller asks for streaming without choosing one.
+	DefaultEvalWindow = 64
+	// EvalWindowAll requests the streaming machinery with a single
+	// whole-set window — the ∞ point of the window axis, used by the
+	// equivalence gates.
+	EvalWindowAll = -1
+	// autoStreamRawBits is the auto-mode threshold: a core whose raw
+	// stimulus image (StimulusBits × Patterns) reaches this many bits is
+	// streamed with DefaultEvalWindow; smaller cores stay resident so the
+	// benchmark-class workloads keep the cached-plane kernel wins.
+	autoStreamRawBits = int64(1) << 31
+)
+
 // Evaluator evaluates test configurations of one core. It is the hot
-// kernel of the (w, m) exploration: the core's test set is flattened
-// into one contiguous care-bit array up front, the most recent wrapper
-// design (and its stimulus map) is kept so consecutive evaluations at
-// the same m share it, and the word-kernel plane scratch (kernel.go) is
-// reused across the whole sweep. An Evaluator is not safe for
-// concurrent use; parallel sweeps give each worker its own (see
-// lookup.go).
+// kernel of the (w, m) exploration: the core's test cubes are flattened
+// into a contiguous care-bit array (the whole set when resident, one
+// window at a time when streaming), the most recent wrapper design (and
+// its stimulus map) is kept so consecutive evaluations at the same m
+// share it, and the word-kernel plane scratch (kernel.go) is reused
+// across the whole sweep. An Evaluator is not safe for concurrent use;
+// parallel sweeps give each worker its own (see lookup.go).
 type Evaluator struct {
 	core *soc.Core
-	ts   *cube.Set
+	ts   *cube.Set   // resident mode: the materialized set (nil when streaming)
+	src  cube.Source // streaming mode: the replayable cube stream (nil when resident)
 
-	// careRef packs the care bits of every cube, flattened:
-	// careRef[i] = pos<<1 | value. cubeOff[j] is cube j's offset, with
-	// a final sentinel at cubeOff[len(cubes)].
+	patterns int // total cubes per evaluation pass
+	numBits  int // stimulus bits per cube
+	window   int // cubes per streamed window; 0 in resident mode
+
+	// careRef packs care bits flattened as careRef[i] = pos<<1 | value;
+	// cubeOff[j] is cube j's offset with a final sentinel. In resident
+	// mode they cover the whole set and j is a global cube index; in
+	// streaming mode they cover the loaded window and j is window-local.
 	careRef []uint64
 	cubeOff []int
+
+	// Pass/window cursor (see beginPass/nextWindow).
+	passPos  int // global index of the first cube of the next window
+	winStart int // global index of the loaded window's first cube
+	winCount int // cubes in the loaded window
 
 	kern kernelScratch // word-parallel slice kernel state
 
@@ -77,9 +111,19 @@ type Evaluator struct {
 	lastD *wrapper.Design
 
 	// Kernel-invocation counters; nil (a no-op) unless a telemetry sink
-	// is attached. Counts are deterministic: one per evaluated config.
-	tdcEvals   *telemetry.Counter
-	noTDCEvals *telemetry.Counter
+	// is attached. Counts are deterministic: one per evaluated config
+	// (and, for the window counters, one per window load).
+	tdcEvals    *telemetry.Counter
+	noTDCEvals  *telemetry.Counter
+	windowLoads *telemetry.Counter
+	windowCubes *telemetry.Counter
+	// peakHeap is the heap high-water gauge, sampled at window
+	// boundaries every heapSampleStride loads (ReadMemStats is
+	// stop-the-world, so per-window sampling would dominate at small
+	// windows). Nil without a sink; gauge values are runtime
+	// observations, excluded from the determinism guarantee.
+	peakHeap *telemetry.Gauge
+	loadTick int
 
 	// ctx, when non-nil, is checked at every kernel entry so a cancelled
 	// sweep aborts at (w, m)-point granularity. Only cancellable contexts
@@ -88,11 +132,18 @@ type Evaluator struct {
 	ctx context.Context
 }
 
+// heapSampleStride is the window-load sampling interval of the peak-heap
+// gauge.
+const heapSampleStride = 64
+
 // attachTelemetry resolves the evaluator's kernel counters from the
 // sink; a nil sink leaves them nil, keeping the hot path free.
 func (e *Evaluator) attachTelemetry(tel *telemetry.Sink) {
 	e.tdcEvals = tel.Counter("eval.tdc_evals")
 	e.noTDCEvals = tel.Counter("eval.notdc_evals")
+	e.windowLoads = tel.Counter("eval.window_loads")
+	e.windowCubes = tel.Counter("eval.window_cubes")
+	e.peakHeap = tel.Gauge("eval.peak_heap_bytes")
 }
 
 // bindContext arms the evaluator's per-kernel cancellation checkpoint.
@@ -113,18 +164,64 @@ func (e *Evaluator) checkpoint() error {
 	return e.ctx.Err()
 }
 
-// NewEvaluator prepares an evaluator for the core, generating (and
-// caching on the core) its test set.
+// NewEvaluator prepares an evaluator for the core in automatic
+// residency mode: cores whose raw stimulus image stays under the
+// streaming threshold are materialized (generating and caching the test
+// set on the core), larger ones stream with the default window. Use
+// NewEvaluatorWindow to choose explicitly.
 func NewEvaluator(c *soc.Core) (*Evaluator, error) {
+	return NewEvaluatorWindow(c, 0)
+}
+
+// NewEvaluatorWindow prepares an evaluator with an explicit residency
+// choice. window > 0 streams the test set in windows of that many
+// cubes; EvalWindowAll streams the whole set as one window; 0 picks
+// automatically (resident below autoStreamRawBits, streaming with
+// DefaultEvalWindow at or above it). Other negative values are
+// rejected. Streamed and resident evaluators price identically — the
+// choice moves peak memory, never results.
+func NewEvaluatorWindow(c *soc.Core, window int) (*Evaluator, error) {
+	if window < 0 && window != EvalWindowAll {
+		return nil, fmt.Errorf("core: EvalWindow %d (want > 0, 0 for auto, or EvalWindowAll)", window)
+	}
+	if window == 0 && c.StimulusVolumeBits() >= autoStreamRawBits {
+		window = DefaultEvalWindow
+	}
+	if window == 0 {
+		return newResidentEvaluator(c)
+	}
+	src, err := c.TestSource()
+	if err != nil {
+		return nil, err
+	}
+	if window == EvalWindowAll || window > src.Len() {
+		window = src.Len()
+	}
+	return &Evaluator{
+		core:     c,
+		src:      src,
+		patterns: src.Len(),
+		numBits:  src.NumBits(),
+		window:   window,
+		cubeOff:  make([]int, 0, window+1),
+	}, nil
+}
+
+// newResidentEvaluator materializes the core's test set (cached on the
+// core) and flattens it into the evaluator's whole-set care array — the
+// historical construction.
+func newResidentEvaluator(c *soc.Core) (*Evaluator, error) {
 	ts, err := c.TestSet()
 	if err != nil {
 		return nil, err
 	}
 	e := &Evaluator{
-		core:    c,
-		ts:      ts,
-		careRef: make([]uint64, 0, ts.TotalCareBits()),
-		cubeOff: make([]int, ts.Len()+1),
+		core:     c,
+		ts:       ts,
+		patterns: ts.Len(),
+		numBits:  c.StimulusBits(),
+		careRef:  make([]uint64, 0, ts.TotalCareBits()),
+		cubeOff:  make([]int, ts.Len()+1),
 	}
 	for j, cb := range ts.Cubes {
 		e.cubeOff[j] = len(e.careRef)
@@ -138,12 +235,99 @@ func NewEvaluator(c *soc.Core) (*Evaluator, error) {
 	}
 	e.cubeOff[ts.Len()] = len(e.careRef)
 	// Pick the kernel's plane-building strategy from the measured care
-	// density of the test set (kernel.go).
+	// density of the test set (kernel.go). The streaming path defers
+	// this to each window's measured density instead.
 	if bits := int64(c.StimulusBits()) * int64(ts.Len()); bits > 0 {
 		density := float64(ts.TotalCareBits()) / float64(bits)
 		e.kern.dense = density >= denseDensityThreshold
 	}
 	return e, nil
+}
+
+// beginPass rewinds the evaluator to the first cube of an evaluation
+// pass; nextWindow then yields the pass's windows in order. The
+// resident pass is a single preloaded whole-set window, so the pair
+// compiles down to today's flat loop; the streaming pass replays the
+// source and reloads windows into the recycled care array.
+func (e *Evaluator) beginPass() {
+	e.passPos = 0
+	if e.src != nil {
+		e.src.Reset()
+	}
+}
+
+// nextWindow advances to the next cube window of the current pass,
+// returning false when the pass is exhausted. After a true return,
+// cubes [winStart, winStart+winCount) are loaded and patternOps prices
+// them by window-local index.
+func (e *Evaluator) nextWindow() bool {
+	if e.passPos >= e.patterns {
+		return false
+	}
+	if e.src == nil {
+		e.winStart, e.winCount = 0, e.patterns
+		e.passPos = e.patterns
+		e.noteWindow(e.patterns)
+		return true
+	}
+	n := min(e.window, e.patterns-e.passPos)
+	e.careRef = e.careRef[:0]
+	e.cubeOff = e.cubeOff[:0]
+	loaded := 0
+	for i := 0; i < n; i++ {
+		c, ok := e.src.Next()
+		if !ok {
+			break
+		}
+		e.cubeOff = append(e.cubeOff, len(e.careRef))
+		for _, bit := range c.Care {
+			r := uint64(bit.Pos) << 1
+			if bit.Value {
+				r |= 1
+			}
+			e.careRef = append(e.careRef, r)
+		}
+		loaded++
+	}
+	e.cubeOff = append(e.cubeOff, len(e.careRef))
+	e.winStart = e.passPos
+	e.winCount = loaded
+	e.passPos += loaded
+	if loaded == 0 {
+		// A source shorter than its Len violates the Source contract;
+		// treat it as end-of-pass rather than spinning.
+		e.passPos = e.patterns
+		return false
+	}
+	// The dense/sparse strategy is chosen per window from its measured
+	// density: a sweep over a decaying test set can use the transpose
+	// kernel for the dense head and the scatter kernel for the sparse
+	// tail of one pass.
+	density := float64(len(e.careRef)) / (float64(e.numBits) * float64(loaded))
+	e.kern.dense = density >= denseDensityThreshold
+	if e.kern.dense {
+		e.buildWindowFlatPlanes()
+	}
+	e.noteWindow(loaded)
+	return true
+}
+
+// noteWindow accounts one window load of n cubes and samples the heap
+// high-water gauge every heapSampleStride loads. All of it is nil-safe
+// and free without a telemetry sink.
+func (e *Evaluator) noteWindow(n int) {
+	e.windowLoads.Inc()
+	e.windowCubes.Add(int64(n))
+	if e.peakHeap == nil {
+		return
+	}
+	e.loadTick++
+	if e.loadTick%heapSampleStride != 1 {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	e.peakHeap.Observe(int64(ms.HeapAlloc))
 }
 
 // Design returns the wrapper design for m chains, reusing the previous
@@ -228,9 +412,14 @@ func (e *Evaluator) PatternBits(m int) ([]int64, error) {
 	si := int64(d.ScanIn)
 	e.kernelPrepare(d)
 
-	out := make([]int64, e.ts.Len())
-	for j := range out {
-		out[j] = (si + e.patternOps(j, k, true)) * w
+	out := make([]int64, e.patterns)
+	j := 0
+	e.beginPass()
+	for e.nextWindow() {
+		for lj := 0; lj < e.winCount; lj++ {
+			out[j] = (si + e.patternOps(lj, k, true)) * w
+			j++
+		}
 	}
 	return out, nil
 }
@@ -249,20 +438,25 @@ func (e *Evaluator) tdcCost(d *wrapper.Design, groupCopy bool) (time, volume int
 	e.kernelPrepare(d)
 
 	var totalCW int64
-	for j := 0; j < e.ts.Len(); j++ {
-		// One header per slice (including fully-X slices) plus the
-		// encoding operations.
-		cw := si + e.patternOps(j, k, groupCopy)
-		totalCW += cw
-		if j == 0 {
-			time += cw
-		} else if cw > so {
-			time += cw
-		} else {
-			time += so
+	j := 0
+	e.beginPass()
+	for e.nextWindow() {
+		for lj := 0; lj < e.winCount; lj++ {
+			// One header per slice (including fully-X slices) plus the
+			// encoding operations.
+			cw := si + e.patternOps(lj, k, groupCopy)
+			totalCW += cw
+			if j == 0 {
+				time += cw
+			} else if cw > so {
+				time += cw
+			} else {
+				time += so
+			}
+			j++
 		}
 	}
-	time += int64(e.ts.Len()) + so
+	time += int64(e.patterns) + so
 	volume = totalCW * w
 	return time, volume
 }

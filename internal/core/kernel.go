@@ -68,6 +68,13 @@ type kernelScratch struct {
 	// can land.
 	sliceCare  []uint64
 	sliceValue []uint64
+	// sliceZeroed tracks the sparse path's all-zero plane invariant.
+	// The dense kernel overwrites walked words without restoring them,
+	// so in streaming mode — where the strategy may flip between
+	// windows — a sparse window after a dense one must first re-zero
+	// the planes. Resident evaluators never flip and keep the flag's
+	// initial value for their whole life.
+	sliceZeroed bool
 }
 
 // kernelPrepare (re)targets the kernel scratch at a wrapper design.
@@ -81,6 +88,11 @@ func (e *Evaluator) kernelPrepare(d *wrapper.Design) {
 	ks.si = d.ScanIn
 	ks.chainWords = (d.M + 63) / 64
 	ks.siWords = (d.ScanIn + 63) / 64
+
+	if e.src != nil {
+		e.kernelPrepareStreaming(d)
+		return
+	}
 
 	if ks.dense {
 		ks.segs = d.StimulusSegments()
@@ -110,6 +122,7 @@ func (e *Evaluator) kernelPrepare(d *wrapper.Design) {
 	if cap(ks.sliceCare) < sliceNeed {
 		ks.sliceCare = make([]uint64, sliceNeed)
 		ks.sliceValue = make([]uint64, sliceNeed)
+		ks.sliceZeroed = true
 	}
 	ks.sliceCare = ks.sliceCare[:sliceNeed]
 	ks.sliceValue = ks.sliceValue[:sliceNeed]
@@ -120,21 +133,85 @@ func (e *Evaluator) kernelPrepare(d *wrapper.Design) {
 	ks.mark = ks.mark[:ks.si]
 }
 
+// kernelPrepareStreaming readies the scratch for a streamed evaluation
+// pass, where the plane-building strategy may differ from window to
+// window: both the dense path's segment/transpose state and the sparse
+// path's scatter state are targeted at the design, with the slice
+// planes at the dense (padded) size — a superset of the sparse layout,
+// so either kernel can run against them. Per-cube flat planes are not
+// built here; each dense window builds its own (buildWindowFlatPlanes).
+func (e *Evaluator) kernelPrepareStreaming(d *wrapper.Design) {
+	ks := &e.kern
+	ks.segs = d.StimulusSegments()
+	ks.refs = d.StimulusMap()
+
+	chainNeed := ks.chainWords * 64 * ks.siWords
+	if cap(ks.chainCare) < chainNeed {
+		ks.chainCare = make([]uint64, chainNeed)
+		ks.chainValue = make([]uint64, chainNeed)
+	}
+	ks.chainCare = ks.chainCare[:chainNeed]
+	ks.chainValue = ks.chainValue[:chainNeed]
+
+	sliceNeed := ks.siWords * 64 * ks.chainWords
+	if cap(ks.sliceCare) < sliceNeed {
+		ks.sliceCare = make([]uint64, sliceNeed)
+		ks.sliceValue = make([]uint64, sliceNeed)
+		ks.sliceZeroed = true
+	}
+	ks.sliceCare = ks.sliceCare[:sliceNeed]
+	ks.sliceValue = ks.sliceValue[:sliceNeed]
+
+	if cap(ks.mark) < ks.si {
+		ks.mark = make([]bool, ks.si)
+		ks.dirty = make([]int32, 0, ks.si)
+	}
+	ks.mark = ks.mark[:ks.si]
+}
+
 // buildFlatPlanes materializes every cube as dense care/value planes in
-// flat stimulus order. Built once per evaluator: the flat layout does
-// not depend on m, so the whole (w,m) sweep shares them.
+// flat stimulus order. Resident mode only, built once per evaluator:
+// the flat layout does not depend on m, so the whole (w,m) sweep shares
+// them. This whole-set allocation is exactly what the streaming path
+// avoids — see buildWindowFlatPlanes.
 func (e *Evaluator) buildFlatPlanes() {
 	ks := &e.kern
 	if ks.flatBuilt {
 		return
 	}
-	ks.flatWords = (e.core.StimulusBits() + 63) / 64
-	n := e.ts.Len() * ks.flatWords
+	ks.flatWords = (e.numBits + 63) / 64
+	n := e.patterns * ks.flatWords
 	ks.flatCare = make([]uint64, n)
 	ks.flatValue = make([]uint64, n)
-	for j := 0; j < e.ts.Len(); j++ {
+	scatterFlat(ks, e.careRef, e.cubeOff, e.patterns)
+	ks.flatBuilt = true
+}
+
+// buildWindowFlatPlanes materializes the loaded cube window as flat
+// care/value planes, recycling the buffers across windows — the
+// streaming counterpart of buildFlatPlanes, bounded at window ×
+// flatWords words instead of testset × flatWords.
+func (e *Evaluator) buildWindowFlatPlanes() {
+	ks := &e.kern
+	ks.flatWords = (e.numBits + 63) / 64
+	n := e.winCount * ks.flatWords
+	if cap(ks.flatCare) < n {
+		ks.flatCare = make([]uint64, n)
+		ks.flatValue = make([]uint64, n)
+	} else {
+		ks.flatCare = ks.flatCare[:n]
+		ks.flatValue = ks.flatValue[:n]
+		clear(ks.flatCare)
+		clear(ks.flatValue)
+	}
+	scatterFlat(ks, e.careRef, e.cubeOff, e.winCount)
+}
+
+// scatterFlat fills the flat planes for cubes [0, n) of the care array.
+func scatterFlat(ks *kernelScratch, careRef []uint64, cubeOff []int, n int) {
+	for j := 0; j < n; j++ {
 		base := j * ks.flatWords
-		for _, p := range e.careRef[e.cubeOff[j]:e.cubeOff[j+1]] {
+		for _, p := range careRef[cubeOff[j]:cubeOff[j+1]] {
 			pos := int(p >> 1)
 			bit := uint64(1) << uint(pos&63)
 			ks.flatCare[base+pos>>6] |= bit
@@ -143,7 +220,6 @@ func (e *Evaluator) buildFlatPlanes() {
 			}
 		}
 	}
-	ks.flatBuilt = true
 }
 
 // patternOps returns the selective-encoding operation count (codewords
@@ -161,6 +237,7 @@ func (e *Evaluator) patternOps(j int, k int64, groupCopy bool) int64 {
 func (e *Evaluator) patternOpsDense(j int, k int64, groupCopy bool) int64 {
 	ks := &e.kern
 	cw, siW := ks.chainWords, ks.siWords
+	ks.sliceZeroed = false
 
 	clear(ks.chainCare)
 	clear(ks.chainValue)
@@ -210,6 +287,14 @@ func (e *Evaluator) patternOpsDense(j int, k int64, groupCopy bool) int64 {
 func (e *Evaluator) patternOpsSparse(j int, k int64, groupCopy bool) int64 {
 	ks := &e.kern
 	cw := ks.chainWords
+	if !ks.sliceZeroed {
+		// A dense window (or a fresh re-slice over its leavings) broke
+		// the all-zero invariant; restore it across the full capacity so
+		// later re-slices stay covered too.
+		clear(ks.sliceCare[:cap(ks.sliceCare)])
+		clear(ks.sliceValue[:cap(ks.sliceValue)])
+		ks.sliceZeroed = true
+	}
 	dirty := ks.dirty[:0]
 	for _, p := range e.careRef[e.cubeOff[j]:e.cubeOff[j+1]] {
 		r := ks.refs[p>>1]

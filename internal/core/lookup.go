@@ -38,6 +38,14 @@ type TableOptions struct {
 	// exists for verification and benchmark comparison and, like
 	// Workers, is erased from cache keys and recorded options.
 	DisablePruning bool
+	// EvalWindow selects the evaluator's residency mode (see
+	// NewEvaluatorWindow): 0 picks automatically by core size, > 0
+	// streams the test set in windows of that many cubes, EvalWindowAll
+	// streams the whole set as one window. Streamed and resident builds
+	// produce bit-identical tables (the streaming-equivalence gate), so
+	// EvalWindow only moves peak memory and — like Workers — is erased
+	// from cache keys and from the options recorded on the table.
+	EvalWindow int
 }
 
 func (o TableOptions) withDefaults() TableOptions {
@@ -57,7 +65,16 @@ func (o TableOptions) normalized() TableOptions {
 	o = o.withDefaults()
 	o.Workers = 0
 	o.DisablePruning = false
+	o.EvalWindow = 0
 	return o
+}
+
+// streamingEval reports whether the EvalWindow setting selects the
+// streaming evaluator path for this core — explicitly (non-zero
+// window), or automatically when the raw stimulus image crosses the
+// residency threshold. Mirrors NewEvaluatorWindow's mode choice.
+func streamingEval(c *soc.Core, window int) bool {
+	return window != 0 || c.StimulusVolumeBits() >= autoStreamRawBits
 }
 
 // resolveWorkers maps a Workers option to an actual pool size: zero (or
@@ -89,7 +106,7 @@ func resolveWorkers(workers, tasks int) int {
 // (w, m) kernel entry, so cancellation lands mid-band too. A panic in
 // fn is contained on the worker that raised it and surfaces as a
 // *PanicError naming point(i) — never as a process crash.
-func forEachEval(ctx context.Context, c *soc.Core, workers, n int, tel *telemetry.Sink, point func(i int) string, fn func(ev *Evaluator, i int) error) error {
+func forEachEval(ctx context.Context, c *soc.Core, workers, window, n int, tel *telemetry.Sink, point func(i int) string, fn func(ev *Evaluator, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -109,7 +126,7 @@ func forEachEval(ctx context.Context, c *soc.Core, workers, n int, tel *telemetr
 	}
 	workers = resolveWorkers(workers, n)
 	if workers == 1 {
-		ev, err := NewEvaluator(c)
+		ev, err := NewEvaluatorWindow(c, window)
 		if err != nil {
 			return err
 		}
@@ -154,7 +171,7 @@ func forEachEval(ctx context.Context, c *soc.Core, workers, n int, tel *telemetr
 				t0 := time.Now()
 				defer func() { busy.Add(time.Since(t0)) }()
 			}
-			ev, err := NewEvaluator(c)
+			ev, err := NewEvaluatorWindow(c, window)
 			if err != nil {
 				initOnce.Do(func() { initErr = err })
 				failed.Store(true)
@@ -244,9 +261,16 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Generate the test set up front: validates the core and warms the
-	// cache every worker's Evaluator shares.
-	if _, err := c.TestSet(); err != nil {
+	// Validate the core's test set up front. In resident mode this also
+	// generates it, warming the cache every worker's Evaluator shares;
+	// in streaming mode materializing the set would defeat the windowed
+	// path's O(window) residency, so only the spec is validated (a
+	// source probe generates nothing).
+	if streamingEval(c, opts.EvalWindow) {
+		if _, err := c.TestSource(); err != nil {
+			return nil, err
+		}
+	} else if _, err := c.TestSet(); err != nil {
 		return nil, err
 	}
 	t := &Table{
@@ -306,7 +330,7 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 		}
 		return fmt.Sprintf("tdc band w=%d", bands[i-directM].w)
 	}
-	err := forEachEval(ctx, c, opts.Workers, directM+len(bands), tel, point, func(ev *Evaluator, i int) error {
+	err := forEachEval(ctx, c, opts.Workers, opts.EvalWindow, directM+len(bands), tel, point, func(ev *Evaluator, i int) error {
 		if i < directM {
 			cfg, err := ev.NoTDC(i + 1)
 			if err != nil {
@@ -454,13 +478,13 @@ func coreBound(ev *Evaluator, m, w int) (timeLB, volLB int64) {
 	if maxScan > so {
 		so = maxScan
 	}
-	return slicesBound(ev.ts.Len(), int64(si), int64(so), int64(w))
+	return slicesBound(ev.patterns, int64(si), int64(so), int64(w))
 }
 
 // designBound is coreBound with the exact scan-in/scan-out depths of a
 // built wrapper design — tighter, at the price of the design itself.
 func designBound(ev *Evaluator, d *wrapper.Design, w int) (timeLB, volLB int64) {
-	return slicesBound(ev.ts.Len(), int64(d.ScanIn), int64(d.ScanOut), int64(w))
+	return slicesBound(ev.patterns, int64(d.ScanIn), int64(d.ScanOut), int64(w))
 }
 
 func slicesBound(p int, si, so, w int64) (timeLB, volLB int64) {
@@ -535,12 +559,16 @@ func SweepTDCContext(ctx context.Context, c *soc.Core, lo, hi, workers int) ([]C
 	if hi < lo {
 		return nil, fmt.Errorf("core: empty sweep range [%d,%d] for %s", lo, hi, c.Name)
 	}
-	if _, err := c.TestSet(); err != nil {
+	if streamingEval(c, 0) {
+		if _, err := c.TestSource(); err != nil {
+			return nil, err
+		}
+	} else if _, err := c.TestSet(); err != nil {
 		return nil, err
 	}
 	out := make([]Config, hi-lo+1)
 	point := func(i int) string { return fmt.Sprintf("tdc m=%d", lo+i) }
-	err := forEachEval(ctx, c, workers, len(out), nil, point, func(ev *Evaluator, i int) error {
+	err := forEachEval(ctx, c, workers, 0, len(out), nil, point, func(ev *Evaluator, i int) error {
 		cfg, err := ev.TDC(lo+i, true)
 		if err != nil {
 			return err

@@ -154,7 +154,7 @@ func TestCacheDeterministicErrorCached(t *testing.T) {
 func TestForEachEvalPanicContained(t *testing.T) {
 	c := compressibleCore(24)
 	for _, workers := range []int{1, 4} {
-		err := forEachEval(context.Background(), c, workers, 8, nil,
+		err := forEachEval(context.Background(), c, workers, 0, 8, nil,
 			func(i int) string { return fmt.Sprintf("point %d", i) },
 			func(ev *Evaluator, i int) error {
 				if i == 3 {

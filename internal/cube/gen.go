@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // GenSpec parameterizes the deterministic synthetic cube generator. The
@@ -26,7 +27,8 @@ import (
 // geometry, clusters are placed over flat cell indices.
 //
 // All randomness derives from Seed, so a spec always generates the same
-// test set.
+// test set — whether materialized at once by Generate or pulled one
+// cube at a time from a Generator.
 type GenSpec struct {
 	NumBits  int     // stimulus bits per pattern (wrapper inputs + scan cells)
 	Patterns int     // number of test cubes
@@ -52,13 +54,34 @@ type GenSpec struct {
 	IOCells int
 }
 
+// Structural bounds on generated test sets. Per-field limits line up
+// with the soc package's parse-time bounds (MaxStimulusBits,
+// MaxPatterns); the total-bits product is the giant-spec guard — it is
+// computed in int64 so that a spec with both fields near their caps is
+// rejected by arithmetic that cannot itself overflow.
+const (
+	MaxNumBits   = 1 << 28 // == soc.MaxStimulusBits
+	MaxPatterns  = 1 << 26 // == soc.MaxPatterns
+	MaxTotalBits = 1 << 48 // NumBits × Patterns ceiling (raw image bits)
+)
+
 // Validate checks the spec for consistency.
 func (g GenSpec) Validate() error {
 	if g.NumBits <= 0 {
 		return fmt.Errorf("cube: GenSpec.NumBits = %d, must be > 0", g.NumBits)
 	}
+	if g.NumBits > MaxNumBits {
+		return fmt.Errorf("cube: GenSpec.NumBits = %d exceeds limit %d", g.NumBits, MaxNumBits)
+	}
 	if g.Patterns <= 0 {
 		return fmt.Errorf("cube: GenSpec.Patterns = %d, must be > 0", g.Patterns)
+	}
+	if g.Patterns > MaxPatterns {
+		return fmt.Errorf("cube: GenSpec.Patterns = %d exceeds limit %d", g.Patterns, MaxPatterns)
+	}
+	if total := int64(g.NumBits) * int64(g.Patterns); total > MaxTotalBits {
+		return fmt.Errorf("cube: GenSpec total %d × %d = %d raw bits exceeds limit %d",
+			g.NumBits, g.Patterns, total, int64(MaxTotalBits))
 	}
 	// The positive form also rejects NaN (which compares false to
 	// everything and would otherwise slip through to the placement
@@ -90,62 +113,43 @@ func (g GenSpec) Validate() error {
 }
 
 // Generate produces the deterministic synthetic test set described by
-// the spec.
+// the spec, materialized as a *Set. It is a thin adapter over the
+// streaming Generator — collecting the same cube sequence a Generator
+// yields — kept for callers that genuinely need the whole set resident
+// (dictionary training, ad-hoc tooling). Scale-sensitive paths should
+// pull from NewGenerator instead.
 func Generate(g GenSpec) (*Set, error) {
-	if err := g.Validate(); err != nil {
+	gen, err := NewGenerator(g)
+	if err != nil {
 		return nil, err
 	}
-	decay := clamp01(g.DensityDecay)
-	clustering := clamp01(g.Clustering)
-	oneBias := g.OneBias
-	if oneBias <= 0 || oneBias >= 1 {
-		oneBias = 0.4 // ATPG cubes skew slightly toward 0 justification
-	}
-
-	rng := rand.New(rand.NewSource(g.Seed))
 	set := NewSet(g.NumBits)
-
-	var chainStart []int
-	if len(g.Geometry) > 0 {
-		chainStart = make([]int, len(g.Geometry))
-		off := g.IOCells
-		for i, l := range g.Geometry {
-			chainStart[i] = off
-			off += l
-		}
-	}
-
-	// Per-pattern density profile: d(i) = base * (1 + decay*(1 - 2*i/p))
-	// so the mean over the set equals g.Density; with decay=1 the first
-	// pattern is ~2x the mean and the tail ~0.5x.
-	for i := 0; i < g.Patterns; i++ {
-		frac := 0.0
-		if g.Patterns > 1 {
-			frac = float64(i) / float64(g.Patterns-1)
-		}
-		d := g.Density * (1 + decay*(1-2*frac))
-		if d <= 0 {
-			d = g.Density * 0.05
-		}
-		if d > 1 {
-			d = 1
-		}
-		nCare := int(math.Round(d * float64(g.NumBits)))
-		if nCare < 1 {
-			nCare = 1
-		}
-		if nCare > g.NumBits {
-			nCare = g.NumBits
-		}
-		var c *Cube
-		if chainStart != nil {
-			c = genScanCube(rng, g, chainStart, nCare, clustering, oneBias)
-		} else {
-			c = genFlatCube(rng, g.NumBits, nCare, clustering, oneBias)
+	set.Cubes = make([]*Cube, 0, g.Patterns)
+	for {
+		c, ok := gen.Next()
+		if !ok {
+			break
 		}
 		set.Cubes = append(set.Cubes, c)
 	}
 	return set, nil
+}
+
+// placeCare appends one care bit without the O(care) sorted-insert of
+// Cube.Set; generator call sites guarantee position uniqueness via
+// their seen maps, and sortCare restores the Care ordering invariant
+// once placement finishes. This keeps per-cube cost O(care log care)
+// instead of O(care²) — the difference between minutes and hours on a
+// million-cube giant set.
+func placeCare(c *Cube, pos int, v bool) {
+	c.Care = append(c.Care, CareBit{Pos: pos, Value: v})
+}
+
+// sortCare restores the sorted-by-position invariant after placeCare
+// appends. Positions are unique, so a plain sort reproduces exactly the
+// layout incremental Cube.Set insertion would have built.
+func sortCare(c *Cube) {
+	sort.Slice(c.Care, func(i, j int) bool { return c.Care[i].Pos < c.Care[j].Pos })
 }
 
 // genScanCube places clusters in (chain, depth) coordinates: each
@@ -154,6 +158,7 @@ func Generate(g GenSpec) (*Set, error) {
 // uniformly scattered care bits.
 func genScanCube(rng *rand.Rand, g GenSpec, chainStart []int, nCare int, clustering, oneBias float64) *Cube {
 	c := NewCube(g.NumBits)
+	c.Care = make([]CareBit, 0, nCare)
 	seen := make(map[int]bool, nCare)
 	nChains := len(g.Geometry)
 
@@ -169,7 +174,7 @@ func genScanCube(rng *rand.Rand, g GenSpec, chainStart []int, nCare int, cluster
 			continue
 		}
 		seen[pos] = true
-		c.Set(pos, rng.Float64() < oneBias)
+		placeCare(c, pos, rng.Float64() < oneBias)
 		placed++
 	}
 
@@ -193,7 +198,7 @@ func genScanCube(rng *rand.Rand, g GenSpec, chainStart []int, nCare int, cluster
 		if minLen <= depthSpan {
 			depthSpan = 1
 		}
-		d0 := rng.Intn(maxInt(1, minLen-depthSpan+1))
+		d0 := rng.Intn(max(1, minLen-depthSpan+1))
 		domVal := rng.Float64() < oneBias
 		for ch := c0; ch < c0+span && placed < nCare; ch++ {
 			for dd := 0; dd < depthSpan && placed < nCare; dd++ {
@@ -214,12 +219,13 @@ func genScanCube(rng *rand.Rand, g GenSpec, chainStart []int, nCare int, cluster
 				if rng.Float64() > 0.85 {
 					v = !v
 				}
-				c.Set(pos, v)
+				placeCare(c, pos, v)
 				placed++
 			}
 		}
 	}
 	fillRemaining(rng, c, seen, g.NumBits, nCare, &placed, oneBias)
+	sortCare(c)
 	return c
 }
 
@@ -227,6 +233,7 @@ func genScanCube(rng *rand.Rand, g GenSpec, chainStart []int, nCare int, cluster
 // flat cell indices.
 func genFlatCube(rng *rand.Rand, numBits, nCare int, clustering, oneBias float64) *Cube {
 	c := NewCube(numBits)
+	c.Care = make([]CareBit, 0, nCare)
 	seen := make(map[int]bool, nCare)
 
 	// Number of cone centers: fewer cones = stronger clustering. At
@@ -263,10 +270,11 @@ func genFlatCube(rng *rand.Rand, numBits, nCare int, clustering, oneBias float64
 		if rng.Float64() > 0.85 {
 			v = !v
 		}
-		c.Set(pos, v)
+		placeCare(c, pos, v)
 		placed++
 	}
 	fillRemaining(rng, c, seen, numBits, nCare, &placed, oneBias)
+	sortCare(c)
 	return c
 }
 
@@ -278,26 +286,18 @@ func fillRemaining(rng *rand.Rand, c *Cube, seen map[int]bool, numBits, nCare in
 			continue
 		}
 		seen[pos] = true
-		c.Set(pos, rng.Float64() < oneBias)
+		placeCare(c, pos, rng.Float64() < oneBias)
 		*placed++
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
+// clamp01 confines x to [0,1]. The !(x >= 0) form maps NaN to 0 rather
+// than letting it poison the downstream arithmetic (rand.Intn(int(NaN))
+// panics) — which is why this is not simply min(1, max(0, x)): the
+// float builtins propagate NaN.
 func clamp01(x float64) float64 {
-	// NaN fails both comparisons; map it to 0 rather than letting it
-	// poison the downstream arithmetic (rand.Intn(int(NaN)) panics).
 	if !(x >= 0) {
 		return 0
 	}
-	if x > 1 {
-		return 1
-	}
-	return x
+	return min(x, 1)
 }

@@ -1,0 +1,119 @@
+package cube
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sourceSpecs cover both placement regimes (scan geometry and flat) and
+// the degenerate single-pattern case.
+func sourceSpecs() []GenSpec {
+	return []GenSpec{
+		{NumBits: 2000, Patterns: 50, Density: 0.03, DensityDecay: 0.8, Clustering: 0.7, Seed: 42},
+		{NumBits: 1200, Patterns: 30, Density: 0.05, DensityDecay: 0.5, Clustering: 0.9, Seed: 7,
+			Geometry: []int{300, 300, 250, 250}, IOCells: 100},
+		{NumBits: 64, Patterns: 1, Density: 1, Clustering: 0.9, Seed: 1},
+	}
+}
+
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	for si, spec := range sourceSpecs() {
+		want, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen.NumBits() != spec.NumBits || gen.Len() != spec.Patterns {
+			t.Fatalf("spec %d: NumBits/Len = %d/%d, want %d/%d",
+				si, gen.NumBits(), gen.Len(), spec.NumBits, spec.Patterns)
+		}
+		for i := 0; i < spec.Patterns; i++ {
+			c, ok := gen.Next()
+			if !ok {
+				t.Fatalf("spec %d: stream ended at cube %d of %d", si, i, spec.Patterns)
+			}
+			if !reflect.DeepEqual(c, want.Cubes[i]) {
+				t.Fatalf("spec %d: streamed cube %d differs from materialized", si, i)
+			}
+		}
+		if _, ok := gen.Next(); ok {
+			t.Fatalf("spec %d: stream yielded more than %d cubes", si, spec.Patterns)
+		}
+	}
+}
+
+func TestGeneratorResetReplays(t *testing.T) {
+	spec := sourceSpecs()[1]
+	gen, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandon a pass midway; Reset must still replay the full sequence.
+	for i := 0; i < spec.Patterns/2; i++ {
+		gen.Next()
+	}
+	gen.Reset()
+	want, _ := Generate(spec)
+	for i := 0; i < spec.Patterns; i++ {
+		c, ok := gen.Next()
+		if !ok {
+			t.Fatalf("post-reset stream ended at cube %d", i)
+		}
+		if !reflect.DeepEqual(c, want.Cubes[i]) {
+			t.Fatalf("post-reset cube %d differs from materialized", i)
+		}
+	}
+}
+
+func TestSetSource(t *testing.T) {
+	set, err := Generate(sourceSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src Source = NewSetSource(set)
+	if src.NumBits() != set.NumBits || src.Len() != set.Len() {
+		t.Fatalf("NumBits/Len = %d/%d, want %d/%d", src.NumBits(), src.Len(), set.NumBits, set.Len())
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := range set.Cubes {
+			c, ok := src.Next()
+			if !ok || c != set.Cubes[i] {
+				t.Fatalf("pass %d cube %d: got %p ok=%v, want %p", pass, i, c, ok, set.Cubes[i])
+			}
+		}
+		if _, ok := src.Next(); ok {
+			t.Fatalf("pass %d: Next past the end returned ok", pass)
+		}
+		src.Reset()
+	}
+}
+
+func TestValidateGiantBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		spec GenSpec
+	}{
+		{"NumBits over cap", GenSpec{NumBits: MaxNumBits + 1, Patterns: 1, Density: 0.1}},
+		{"Patterns over cap", GenSpec{NumBits: 10, Patterns: MaxPatterns + 1, Density: 0.1}},
+		// Each field individually within bounds, product over the total
+		// ceiling: 2^28 × 2^21 = 2^49 > 2^48. The product must be priced
+		// in int64 — in 32-bit int arithmetic it would wrap.
+		{"total over cap", GenSpec{NumBits: MaxNumBits, Patterns: 1 << 21, Density: 0.1}},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: spec accepted: %+v", tc.name, tc.spec)
+		}
+		if _, err := NewGenerator(tc.spec); err == nil {
+			t.Errorf("%s: NewGenerator accepted invalid spec", tc.name)
+		}
+	}
+	// The largest in-bounds giant shape must still validate.
+	ok := GenSpec{NumBits: 1 << 24, Patterns: 1 << 24, Density: 0.02}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("in-bounds giant spec rejected: %v", err)
+	}
+}

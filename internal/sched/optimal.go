@@ -99,9 +99,7 @@ func Optimal(nCores int, widths []int, dur Duration, maxNodes int64) (*Schedule,
 		if pos == nCores {
 			var mk int64
 			for _, l := range load {
-				if l > mk {
-					mk = l
-				}
+				mk = max(mk, l)
 			}
 			if mk < best {
 				best = mk
@@ -115,15 +113,10 @@ func Optimal(nCores int, widths []int, dur Duration, maxNodes int64) (*Schedule,
 		// least its cheapest duration on any bus).
 		var mk, total int64
 		for _, l := range load {
-			if l > mk {
-				mk = l
-			}
+			mk = max(mk, l)
 			total += l
 		}
-		lb := (total + suffix[pos] + int64(k) - 1) / int64(k)
-		if mk > lb {
-			lb = mk
-		}
+		lb := max(mk, (total+suffix[pos]+int64(k)-1)/int64(k))
 		if lb >= best {
 			return
 		}

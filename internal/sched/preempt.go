@@ -25,14 +25,9 @@ func Preemptive(nCores, width, k int, dur Duration) (*Schedule, error) {
 		}
 		durs[c] = d
 		total += d
-		if d > longest {
-			longest = d
-		}
+		longest = max(longest, d)
 	}
-	makespan := (total + int64(k) - 1) / int64(k)
-	if longest > makespan {
-		makespan = longest
-	}
+	makespan := max(longest, (total+int64(k)-1)/int64(k))
 
 	widths := make([]int, k)
 	for i := range widths {
@@ -48,11 +43,7 @@ func Preemptive(nCores, width, k int, dur Duration) (*Schedule, error) {
 			if bus >= k {
 				return nil, fmt.Errorf("sched: internal error: wrap-around overflow")
 			}
-			avail := makespan - t
-			piece := remaining
-			if piece > avail {
-				piece = avail
-			}
+			piece := min(remaining, makespan-t)
 			if piece > 0 {
 				s.Items = append(s.Items, Item{Core: c, Bus: bus, Start: t, Duration: piece})
 				s.BusTimes[bus] = t + piece

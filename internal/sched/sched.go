@@ -191,9 +191,7 @@ func (p *Planner) indexOrder(nCores int) []int {
 func (p *Planner) longestFirstOrder(nCores int, widths []int, dur Duration) []int {
 	widest := 0
 	for _, w := range widths {
-		if w > widest {
-			widest = w
-		}
+		widest = max(widest, w)
 	}
 	if cap(p.cts) < nCores {
 		p.cts = make([]coreTime, nCores)
@@ -264,9 +262,7 @@ func (p *Planner) placeMakespan(order []int, widths []int, dur Duration) (int64,
 			return 0, fmt.Errorf("sched: core %d infeasible on every bus", c)
 		}
 		bt[bestBus] = bestFinish
-		if bestFinish > makespan {
-			makespan = bestFinish
-		}
+		makespan = max(makespan, bestFinish)
 	}
 	p.Placements.Add(int64(len(order)))
 	return makespan, nil

@@ -67,6 +67,14 @@ func SliceCostMask(m int, care, value []uint64) int {
 // popcount-and-mask over the GroupCount(m) k-bit segments of the
 // planes.
 func EncodeSliceMask(m int, care, value []uint64) []Codeword {
+	return AppendEncodeSliceMask(nil, m, care, value)
+}
+
+// AppendEncodeSliceMask is EncodeSliceMask in append form: the slice's
+// codewords are appended to dst and the extended slice returned, so a
+// streaming consumer encoding many slices can accumulate one codeword
+// buffer instead of allocating per slice.
+func AppendEncodeSliceMask(dst []Codeword, m int, care, value []uint64) []Codeword {
 	if need := (m + 63) / 64; len(care) < need || len(value) < need {
 		panic(fmt.Sprintf("selenc: mask planes too short for width %d", m))
 	}
@@ -81,7 +89,7 @@ func EncodeSliceMask(m int, care, value []uint64) []Codeword {
 	if fill {
 		header.Payload |= headerFillBit
 	}
-	out := []Codeword{header}
+	out := append(dst, header)
 
 	for g, n := 0, GroupCount(m); g < n; g++ {
 		base := g * k

@@ -33,15 +33,18 @@ type CoreReport struct {
 // RunTDCCore simulates the complete compressed test of one core with m
 // wrapper chains: every pattern is encoded slice-by-slice, decompressed
 // through the cycle-accurate machine, and the reassembled stimulus is
-// verified against the cube. An error is returned for structural
-// failures; care-bit disagreements are counted in the report (and
-// should always be zero).
+// verified against the cube. Patterns are pulled one at a time from the
+// core's cube stream and the per-pattern scratch is recycled, so the
+// simulation runs at O(pattern) residency and giant cores can be
+// spot-checked without materializing their test sets. An error is
+// returned for structural failures; care-bit disagreements are counted
+// in the report (and should always be zero).
 func RunTDCCore(c *soc.Core, m int) (*CoreReport, error) {
 	d, err := wrapper.New(c, m)
 	if err != nil {
 		return nil, err
 	}
-	ts, err := c.TestSet()
+	src, err := c.TestSource()
 	if err != nil {
 		return nil, err
 	}
@@ -54,19 +57,28 @@ func RunTDCCore(c *soc.Core, m int) (*CoreReport, error) {
 		Core:     c.Name,
 		M:        m,
 		W:        selenc.CodewordWidth(m),
-		Patterns: ts.Len(),
+		Patterns: src.Len(),
 	}
 
 	si := d.ScanIn
-	for pi, cb := range ts.Cubes {
-		// Assemble per-slice care lists in (chain) position order.
-		slices := make([][]selenc.CareBit, si)
+	slices := make([][]selenc.CareBit, si)
+	delivered := make([]*bitvec.Vector, 0, si)
+	for pi := 0; ; pi++ {
+		cb, ok := src.Next()
+		if !ok {
+			break
+		}
+		// Assemble per-slice care lists in (chain) position order,
+		// reusing each slice's backing array across patterns.
+		for i := range slices {
+			slices[i] = slices[i][:0]
+		}
+		delivered = delivered[:0]
 		for _, bit := range cb.Care {
 			r := refs[bit.Pos]
 			slices[r.Depth] = append(slices[r.Depth], selenc.CareBit{Pos: int(r.Chain), Value: bit.Value})
 		}
 		// Encode and stream through the decompressor.
-		delivered := make([]*bitvec.Vector, 0, si)
 		for _, slice := range slices {
 			insertionSort(slice)
 			for _, cw := range selenc.EncodeSlice(m, slice) {

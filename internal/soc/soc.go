@@ -165,6 +165,22 @@ func (c *Core) Validate() error {
 	return nil
 }
 
+// genSpec maps the core's generator parameters onto the cube package's
+// spec — the single translation both TestSet and TestSource share, so
+// the materialized and streamed forms describe the same cube sequence.
+func (c *Core) genSpec() cube.GenSpec {
+	return cube.GenSpec{
+		NumBits:      c.StimulusBits(),
+		Patterns:     c.Patterns,
+		Density:      c.CareDensity,
+		DensityDecay: c.DensityDecay,
+		Clustering:   c.Clustering,
+		Seed:         c.Seed,
+		Geometry:     c.ScanChains,
+		IOCells:      c.InCells(),
+	}
+}
+
 // TestSet returns the core's test cubes, generating and caching them on
 // first use. The result is shared; callers must not mutate it.
 func (c *Core) TestSet() (*cube.Set, error) {
@@ -173,18 +189,32 @@ func (c *Core) TestSet() (*cube.Set, error) {
 			c.cubes = c.ExplicitCubes
 			return
 		}
-		c.cubes, c.cubesErr = cube.Generate(cube.GenSpec{
-			NumBits:      c.StimulusBits(),
-			Patterns:     c.Patterns,
-			Density:      c.CareDensity,
-			DensityDecay: c.DensityDecay,
-			Clustering:   c.Clustering,
-			Seed:         c.Seed,
-			Geometry:     c.ScanChains,
-			IOCells:      c.InCells(),
-		})
+		c.cubes, c.cubesErr = cube.Generate(c.genSpec())
 	})
 	return c.cubes, c.cubesErr
+}
+
+// TestSource returns a fresh pull-based stream over the core's test
+// cubes — the same sequence TestSet materializes, delivered one cube at
+// a time so giant test sets are never resident. Unlike TestSet it
+// caches nothing (and deliberately does not consult the TestSet cache,
+// whose population is exactly the O(test set) allocation streaming
+// callers are avoiding); with explicit cubes it streams the attached
+// set by reference. Each call returns an independent source, so
+// concurrent consumers (worker-pool evaluators) each take their own.
+func (c *Core) TestSource() (cube.Source, error) {
+	if c.ExplicitCubes != nil {
+		return cube.NewSetSource(c.ExplicitCubes), nil
+	}
+	return cube.NewGenerator(c.genSpec())
+}
+
+// StimulusVolumeBits returns NumBits × Patterns as an int64 — the raw
+// stimulus image size the materialized evaluator path would shadow in
+// its flat planes, used to decide when to stream instead. Overflow-safe
+// for any core passing Validate.
+func (c *Core) StimulusVolumeBits() int64 {
+	return int64(c.StimulusBits()) * int64(c.Patterns)
 }
 
 // MustTestSet is TestSet but panics on error; for use with the built-in

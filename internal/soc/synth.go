@@ -1,0 +1,129 @@
+package soc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+)
+
+// SynthSpec parameterizes Synthesize, the synthetic SOC designer behind
+// cmd/socgen. Output is deterministic in Seed for a fixed spec.
+type SynthSpec struct {
+	Name    string // SOC name
+	Profile string // "industrial", "iscas", or "giant"
+	Cores   int    // number of cores, ≥ 1
+	Seed    int64
+
+	// Patterns, when > 0, overrides every core's pattern count in place
+	// of the profile's per-core draw. The override is applied after the
+	// profile's random draws, so designs with and without it share all
+	// other structure for one seed.
+	Patterns int
+	// Scale, when > 0 and ≠ 1, multiplies each core's scan-cell count
+	// (and with it the gate estimate) — the knob that turns a profile
+	// into a family of progressively larger designs. 0 means 1.
+	Scale float64
+}
+
+// Profiles supported by Synthesize:
+//
+//   - industrial: compression-ready cores — sparse clustered cubes,
+//     many short scan chains; the regime selective encoding targets.
+//   - iscas: ISCAS-89-like cores — small, dense cubes, few long chains.
+//   - giant: the production-scale workload of ROADMAP item 5 — cores an
+//     order of magnitude deeper than industrial (tens of thousands of
+//     scan cells, tens of thousands of patterns each, very sparse), so
+//     a few dozen cores already carry millions of cubes. Designs of
+//     this profile are meant to be consumed through the streaming
+//     evaluator path; materializing one core's planes costs hundreds of
+//     megabytes.
+func Synthesize(ctx context.Context, sp SynthSpec) (*SOC, error) {
+	if sp.Cores < 1 {
+		return nil, fmt.Errorf("soc: synthesize: need at least one core")
+	}
+	scale := sp.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	if !(scale > 0) {
+		return nil, fmt.Errorf("soc: synthesize: scale %g, must be > 0", sp.Scale)
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	s := &SOC{Name: sp.Name}
+	for i := 0; i < sp.Cores; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		var c *Core
+		switch sp.Profile {
+		case "industrial":
+			cells := 8000 + rng.Intn(60000)
+			chainLen := 40 + rng.Intn(40)
+			c = &Core{
+				Name:         fmt.Sprintf("core-%d", i+1),
+				Inputs:       50 + rng.Intn(400),
+				Outputs:      50 + rng.Intn(350),
+				Bidirs:       rng.Intn(32),
+				Patterns:     100 + rng.Intn(250),
+				CareDensity:  0.01 + rng.Float64()*0.04,
+				Clustering:   0.6 + rng.Float64()*0.3,
+				DensityDecay: 0.5 + rng.Float64()*0.4,
+			}
+			synthChains(c, cells, chainLen, scale, 12)
+		case "iscas":
+			cells := 100 + rng.Intn(2000)
+			nChains := 1 + rng.Intn(32)
+			cells = scaleCells(cells, scale)
+			c = &Core{
+				Name:         fmt.Sprintf("core-%d", i+1),
+				Inputs:       20 + rng.Intn(200),
+				Outputs:      10 + rng.Intn(300),
+				ScanChains:   balancedChains(cells, min(nChains, cells)),
+				Patterns:     20 + rng.Intn(220),
+				Gates:        cells * 10,
+				CareDensity:  0.35 + rng.Float64()*0.3,
+				Clustering:   0.2 + rng.Float64()*0.3,
+				DensityDecay: rng.Float64() * 0.5,
+			}
+		case "giant":
+			cells := 24000 + rng.Intn(72000)
+			chainLen := 60 + rng.Intn(60)
+			c = &Core{
+				Name:         fmt.Sprintf("core-%d", i+1),
+				Inputs:       80 + rng.Intn(600),
+				Outputs:      80 + rng.Intn(500),
+				Bidirs:       rng.Intn(48),
+				Patterns:     16000 + rng.Intn(16000),
+				CareDensity:  0.004 + rng.Float64()*0.012,
+				Clustering:   0.7 + rng.Float64()*0.25,
+				DensityDecay: 0.5 + rng.Float64()*0.4,
+			}
+			synthChains(c, cells, chainLen, scale, 14)
+		default:
+			return nil, fmt.Errorf("soc: synthesize: unknown profile %q", sp.Profile)
+		}
+		c.Seed = sp.Seed*1000 + int64(i)
+		if sp.Patterns > 0 {
+			c.Patterns = sp.Patterns
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	return s, s.Validate()
+}
+
+// synthChains fills in the core's scan structure from a scaled cell
+// budget and a target chain length, plus the gate estimate.
+func synthChains(c *Core, cells, chainLen int, scale float64, gatesPerCell int) {
+	cells = scaleCells(cells, scale)
+	c.ScanChains = balancedChains(cells, max(1, cells/chainLen))
+	c.Gates = cells * gatesPerCell
+}
+
+// scaleCells applies the structural multiplier, keeping at least one
+// cell. scale == 1 is exact (no float round-trip drift).
+func scaleCells(cells int, scale float64) int {
+	if scale == 1 {
+		return cells
+	}
+	return max(1, int(float64(cells)*scale))
+}

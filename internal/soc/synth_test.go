@@ -1,0 +1,185 @@
+package soc
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+func synth(t *testing.T, sp SynthSpec) *SOC {
+	t.Helper()
+	s, err := Synthesize(context.Background(), sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	spec := SynthSpec{Name: "x", Profile: "industrial", Cores: 4, Seed: 9}
+	a := synth(t, spec)
+	b := synth(t, spec)
+	var ba, bb bytes.Buffer
+	if err := Write(&ba, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&bb, b); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Error("same seed produced different designs")
+	}
+	c := synth(t, SynthSpec{Name: "x", Profile: "industrial", Cores: 4, Seed: 10})
+	var bc bytes.Buffer
+	Write(&bc, c)
+	if ba.String() == bc.String() {
+		t.Error("different seeds produced identical designs")
+	}
+}
+
+func TestSynthesizeProfiles(t *testing.T) {
+	ind := synth(t, SynthSpec{Name: "i", Profile: "industrial", Cores: 3, Seed: 1})
+	for _, c := range ind.Cores {
+		if c.CareDensity > 0.06 {
+			t.Errorf("industrial core %s density %g too high", c.Name, c.CareDensity)
+		}
+		if len(c.ScanChains) < 50 {
+			t.Errorf("industrial core %s has only %d chains", c.Name, len(c.ScanChains))
+		}
+	}
+	isc := synth(t, SynthSpec{Name: "s", Profile: "iscas", Cores: 3, Seed: 1})
+	for _, c := range isc.Cores {
+		if c.CareDensity < 0.3 {
+			t.Errorf("iscas core %s density %g too low", c.Name, c.CareDensity)
+		}
+	}
+	if _, err := Synthesize(context.Background(), SynthSpec{Name: "b", Profile: "bogus", Cores: 2, Seed: 1}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := Synthesize(context.Background(), SynthSpec{Name: "b", Profile: "iscas", Cores: 0, Seed: 1}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := Synthesize(context.Background(), SynthSpec{Name: "b", Profile: "iscas", Cores: 1, Seed: 1, Scale: -2}); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestSynthesizeGiantProfile(t *testing.T) {
+	// A 48-core giant design must carry ≥ 1M cubes of very sparse,
+	// deeply scanned stimulus — the streaming-scale workload.
+	g := synth(t, SynthSpec{Name: "g", Profile: "giant", Cores: 48, Seed: 5})
+	cubes := 0
+	for _, c := range g.Cores {
+		cubes += c.Patterns
+		if c.ScanCells() < 20000 {
+			t.Errorf("giant core %s has only %d scan cells", c.Name, c.ScanCells())
+		}
+		if c.CareDensity > 0.02 {
+			t.Errorf("giant core %s density %g too high", c.Name, c.CareDensity)
+		}
+	}
+	if cubes < 1_000_000 {
+		t.Errorf("48-core giant design has %d cubes, want ≥ 1M", cubes)
+	}
+}
+
+func TestSynthesizePatternsAndScale(t *testing.T) {
+	base := synth(t, SynthSpec{Name: "g", Profile: "giant", Cores: 3, Seed: 7})
+	small := synth(t, SynthSpec{Name: "g", Profile: "giant", Cores: 3, Seed: 7, Patterns: 500, Scale: 0.25})
+	for i, c := range small.Cores {
+		if c.Patterns != 500 {
+			t.Errorf("core %s: patterns %d, want 500", c.Name, c.Patterns)
+		}
+		b := base.Cores[i]
+		ratio := float64(c.ScanCells()) / float64(b.ScanCells())
+		if ratio < 0.2 || ratio > 0.3 {
+			t.Errorf("core %s: scale 0.25 gave cell ratio %.3f (%d of %d)",
+				c.Name, ratio, c.ScanCells(), b.ScanCells())
+		}
+		// The override must not perturb the profile's other draws.
+		if c.CareDensity != b.CareDensity || c.Inputs != b.Inputs {
+			t.Errorf("core %s: -patterns/-scale perturbed unrelated structure", c.Name)
+		}
+	}
+}
+
+func TestSynthesizedDesignsAreUsable(t *testing.T) {
+	// Generated designs must round-trip through the text format and
+	// validate, for every profile (giant trimmed to stay test-fast).
+	for _, sp := range []SynthSpec{
+		{Name: "g1", Profile: "industrial", Cores: 2, Seed: 33},
+		{Name: "g2", Profile: "iscas", Cores: 2, Seed: 33},
+		{Name: "g3", Profile: "giant", Cores: 2, Seed: 33, Patterns: 200, Scale: 0.1},
+	} {
+		s := synth(t, sp)
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestTestSourceMatchesTestSet(t *testing.T) {
+	// The streamed and materialized views of one core must be the same
+	// cube sequence, for generated and explicit test sets alike.
+	s := synth(t, SynthSpec{Name: "m", Profile: "iscas", Cores: 2, Seed: 11})
+	c := s.Cores[0]
+	ts, err := c.TestSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := c.TestSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != ts.Len() || src.NumBits() != ts.NumBits {
+		t.Fatalf("source Len/NumBits = %d/%d, want %d/%d", src.Len(), src.NumBits(), ts.Len(), ts.NumBits)
+	}
+	for i := 0; i < ts.Len(); i++ {
+		cu, ok := src.Next()
+		if !ok {
+			t.Fatalf("stream ended at cube %d", i)
+		}
+		if !cu.ToTrits().Equal(ts.Cubes[i].ToTrits()) {
+			t.Fatalf("streamed cube %d differs from TestSet", i)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("stream yielded more cubes than TestSet")
+	}
+
+	// Explicit cubes stream by reference.
+	ec := &Core{Name: "e", Inputs: 4, ScanChains: []int{8}, Patterns: ts.Len(),
+		ExplicitCubes: ts, Gates: 10}
+	// Width mismatch is irrelevant here; bypass Validate and just stream.
+	esrc, err := ec.TestSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ts.Len(); i++ {
+		cu, ok := esrc.Next()
+		if !ok || cu != ts.Cubes[i] {
+			t.Fatalf("explicit stream cube %d: got %p ok=%v", i, cu, ok)
+		}
+	}
+}
+
+func TestStimulusVolumeBits(t *testing.T) {
+	c := &Core{Name: "v", Inputs: 10, ScanChains: []int{30, 24}, Patterns: 1000}
+	if got := c.StimulusVolumeBits(); got != 64_000 {
+		t.Errorf("StimulusVolumeBits = %d, want 64000", got)
+	}
+	// Near the Validate bounds the product exceeds int32 but must not
+	// wrap in int64.
+	big := &Core{Name: "b", Inputs: 0, ScanChains: []int{MaxScanChainLen}, Patterns: MaxPatterns}
+	if got := big.StimulusVolumeBits(); got != int64(MaxScanChainLen)*int64(MaxPatterns) {
+		t.Errorf("StimulusVolumeBits overflowed: %d", got)
+	}
+}

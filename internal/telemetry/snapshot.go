@@ -12,13 +12,15 @@ import (
 )
 
 // Snapshot is a point-in-time copy of a sink: counters (exact,
-// deterministic for any worker count), timers (wall clock, not), and
-// the span tree. It renders as deterministic JSON (map keys sorted by
-// encoding/json, spans in creation order) and as human text.
+// deterministic for any worker count), timers and gauges (runtime
+// observations, not), and the span tree. It renders as deterministic
+// JSON (map keys sorted by encoding/json, spans in creation order) and
+// as human text.
 type Snapshot struct {
 	TotalSeconds float64            `json:"total_seconds"`
 	Counters     map[string]int64   `json:"counters"`
 	Timings      map[string]float64 `json:"timings_seconds,omitempty"`
+	Gauges       map[string]int64   `json:"gauges,omitempty"`
 	Spans        []SpanSnap         `json:"spans,omitempty"`
 }
 
@@ -46,6 +48,12 @@ func (s *Sink) Snapshot() *Snapshot {
 		sn.Timings = make(map[string]float64, len(s.timers))
 		for name, t := range s.timers {
 			sn.Timings[name] = t.Value().Seconds()
+		}
+	}
+	if len(s.gauges) > 0 {
+		sn.Gauges = make(map[string]int64, len(s.gauges))
+		for name, g := range s.gauges {
+			sn.Gauges[name] = g.Value()
 		}
 	}
 	s.mu.Unlock()
@@ -274,6 +282,21 @@ func (sn *Snapshot) Render(w io.Writer) error {
 			}
 			tab.Add(r.tier, fmt.Sprint(r.hits), fmt.Sprint(r.misses), rate,
 				fmt.Sprint(r.evictions), fmt.Sprint(r.bytes))
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if len(sn.Gauges) > 0 {
+		names := make([]string, 0, len(sn.Gauges))
+		for n := range sn.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		tab := report.NewTable("\ngauges (high-water marks, not deterministic)", "gauge", "max")
+		for _, n := range names {
+			tab.Add(n, fmt.Sprint(sn.Gauges[n]))
 		}
 		if err := tab.Render(w); err != nil {
 			return err

@@ -60,6 +60,38 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
+// Gauge tracks the maximum of an observed quantity (e.g. the heap
+// high-water mark sampled at evaluation-window boundaries). Like timers,
+// gauge values reflect runtime accidents (GC timing, sampling points)
+// and are excluded from the worker-count determinism guarantee; the
+// Snapshot type reports them apart from counters. The nil Gauge is a
+// no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Observe raises the gauge to v if v exceeds the current maximum; no-op
+// on nil.
+func (g *Gauge) Observe(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value reads the maximum observed so far; zero on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
 // Timer accumulates wall-clock durations (e.g. worker-slot busy time).
 // Timer values are not deterministic across runs and are reported apart
 // from counters. The nil Timer is a no-op.
@@ -167,6 +199,7 @@ type Sink struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	timers   map[string]*Timer
+	gauges   map[string]*Gauge
 	root     Span
 
 	hookMu   sync.Mutex
@@ -230,6 +263,25 @@ func (s *Sink) Timer(name string) *Timer {
 	t := new(Timer)
 	s.timers[name] = t
 	return t
+}
+
+// Gauge returns the named max-tracking gauge, registering it on first
+// use; nil on a nil sink.
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok := s.gauges[name]; ok {
+		return g
+	}
+	if s.gauges == nil {
+		s.gauges = make(map[string]*Gauge)
+	}
+	g := new(Gauge)
+	s.gauges[name] = g
+	return g
 }
 
 // SetSpanHook installs fn to run on every span End with the span's

@@ -15,7 +15,7 @@ import (
 // nil span, nil counter, nil timer, zero timing — must be a safe no-op.
 func TestNilSinkIsInert(t *testing.T) {
 	var s *Sink
-	if s.Root() != nil || s.Span("x") != nil || s.Counter("c") != nil || s.Timer("t") != nil {
+	if s.Root() != nil || s.Span("x") != nil || s.Counter("c") != nil || s.Timer("t") != nil || s.Gauge("g") != nil {
 		t.Fatal("nil sink handed out non-nil instruments")
 	}
 	s.SetSpanHook(func(string, time.Duration) { t.Fatal("hook on nil sink") })
@@ -37,6 +37,11 @@ func TestNilSinkIsInert(t *testing.T) {
 	if tm.Value() != 0 {
 		t.Fatal("nil timer has a value")
 	}
+	var g *Gauge
+	g.Observe(42)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
 
 	sn := s.Snapshot()
 	if sn == nil || len(sn.Counters) != 0 || len(sn.Spans) != 0 {
@@ -50,10 +55,12 @@ func TestNilFastPathAllocs(t *testing.T) {
 	var c *Counter
 	var tm *Timer
 	var sp *Span
+	var g *Gauge
 	if n := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(3)
 		tm.Add(time.Millisecond)
+		g.Observe(7)
 		sp.Begin().End()
 		_ = sp.Child("x")
 	}); n != 0 {
@@ -91,6 +98,43 @@ func TestCountersAndSpans(t *testing.T) {
 	}
 	if len(sn.Spans[0].Children) != 1 || sn.Spans[0].Children[0].Count != 2 {
 		t.Fatalf("merged child span: %+v", sn.Spans[0].Children)
+	}
+}
+
+// TestGaugeTracksMax: a gauge keeps the maximum across observations,
+// including concurrent ones, and lands in the snapshot's Gauges map —
+// apart from the deterministic counters.
+func TestGaugeTracksMax(t *testing.T) {
+	s := New()
+	g := s.Gauge("eval.peak_heap_bytes")
+	if g != s.Gauge("eval.peak_heap_bytes") {
+		t.Fatal("gauge registry returned distinct instruments for one name")
+	}
+	g.Observe(10)
+	g.Observe(3) // lower: ignored
+	g.Observe(25)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for v := int64(0); v < 1000; v++ {
+				g.Observe(base + v)
+			}
+		}(int64(i * 1000))
+	}
+	wg.Wait()
+	if got := g.Value(); got != 7999 {
+		t.Fatalf("gauge max = %d, want 7999", got)
+	}
+
+	sn := s.Snapshot()
+	if sn.Gauges["eval.peak_heap_bytes"] != 7999 {
+		t.Fatalf("snapshot gauges: %v", sn.Gauges)
+	}
+	if _, ok := sn.Counters["eval.peak_heap_bytes"]; ok {
+		t.Fatal("gauge leaked into the counter map")
 	}
 }
 

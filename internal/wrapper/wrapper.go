@@ -213,11 +213,7 @@ func waterFill(heights []int, n int) []int {
 func (d *Design) TestTime() int64 {
 	p := int64(d.Core.Patterns)
 	si, so := int64(d.ScanIn), int64(d.ScanOut)
-	maxL, minL := si, so
-	if so > si {
-		maxL, minL = so, si
-	}
-	return (1+maxL)*p + minL
+	return (1+max(si, so))*p + min(si, so)
 }
 
 // StimulusVolume returns the ATE stimulus storage in bits for this
