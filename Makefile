@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke bench-json bench-big bench-big-smoke telemetry-overhead kernel-equivalence robustness cachefmt
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json bench-big bench-big-smoke bench-compare telemetry-overhead kernel-equivalence robustness cachefmt obs
 
 # check is the tier-1 gate: everything must pass before a change lands.
 # A PR that touches the kernels or the sweep should also refresh the
 # dated benchmark archive with `make bench-json` and note the numbers.
-check: vet build test race bench-smoke bench-big-smoke telemetry-overhead kernel-equivalence robustness cachefmt
+check: vet build test race bench-smoke bench-big-smoke telemetry-overhead kernel-equivalence robustness cachefmt obs
 
 vet:
 	$(GO) vet ./...
@@ -113,3 +113,26 @@ telemetry-overhead:
 	$(GO) vet ./internal/telemetry
 	$(GO) test -run 'TestKernelDisabledTelemetryZeroAlloc|TestMakespanDisabledTelemetryZeroAlloc|TestNilFastPathAllocs' -count=1 ./internal/core ./internal/telemetry
 	$(GO) test -run '^$$' -bench 'BenchmarkTDCCostKernelDisabled|BenchmarkTDCCostKernelTelemetry' -benchtime 1x -benchmem ./internal/core
+
+# obs asserts the observability-plane contracts: the disabled histogram
+# record path and the subscriber-free publish path run at 0 allocs/op
+# (test-enforced), the /metrics exposition matches its golden
+# byte-for-byte, the event bus never blocks publishers (including
+# against a stalled /events client) and survives the race detector, the
+# histogram observation counts are worker-count invariant on d695, and
+# the benchjson compare heuristics hold.
+obs:
+	$(GO) test -race -count=1 -timeout 300s -run 'TestBus|TestSubscriptionCloseRace|TestEvent|TestSpanHook|TestSinkClose|TestHistogram|TestBucketBounds|TestWriteOpenMetricsGolden|TestMetricsAndHealthzEndpoints|TestShutdownCancelsStreams|TestParseKinds' ./internal/telemetry
+	$(GO) test -count=1 -run 'TestHistogramEnabledZeroAlloc|TestNilFastPathAllocs|TestBusNoSubscribersIsFree' ./internal/telemetry
+	$(GO) test -race -count=1 -timeout 600s -run 'TestHistogramCountInvariance' ./internal/core
+	$(GO) test -count=1 ./cmd/benchjson
+
+# bench-compare diffs the two most recent dated benchmark archives
+# (BENCH_*.json at the repository root), failing on any directional
+# metric that regressed by more than 10%. Run `make bench-json` first
+# on both commits being compared.
+bench-compare:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort | tail -2); \
+	if [ $$# -lt 2 ]; then echo "bench-compare: need two BENCH_*.json archives (run make bench-json)"; exit 1; fi; \
+	echo "benchjson -compare $$1 $$2"; \
+	$(GO) run ./cmd/benchjson -compare $$1 $$2 -threshold 0.10

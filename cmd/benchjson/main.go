@@ -7,6 +7,14 @@
 //
 // `make bench-json` wires the four headline benchmarks through this
 // tool into a dated BENCH_<date>.json at the repository root.
+//
+// Archived reports diff with -compare (see compare.go):
+//
+//	benchjson -compare BENCH_old.json BENCH_new.json -threshold 0.10
+//
+// which exits 1 when any directional metric regressed past the
+// threshold; `make bench-compare` runs it over the two most recent
+// archives.
 package main
 
 import (
@@ -21,6 +29,8 @@ import (
 	"strings"
 	"syscall"
 	"time"
+
+	"soctap/internal/telemetry"
 )
 
 // Benchmark is one parsed result line. Standard -benchmem columns map
@@ -38,19 +48,46 @@ type Benchmark struct {
 }
 
 // Report is the file layout: run metadata plus results in input order.
+// GoVersion and VCSRevision carry the same attribution that telemetry
+// snapshots carry in their meta block, so an archive is traceable to
+// the commit that produced it.
 type Report struct {
-	Date       string      `json:"date"`
-	GoOS       string      `json:"goos"`
-	GoArch     string      `json:"goarch"`
-	CPU        string      `json:"cpu,omitempty"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	Date        string      `json:"date"`
+	GoOS        string      `json:"goos"`
+	GoArch      string      `json:"goarch"`
+	CPU         string      `json:"cpu,omitempty"`
+	GoVersion   string      `json:"go_version,omitempty"`
+	VCSRevision string      `json:"vcs_revision,omitempty"`
+	Benchmarks  []Benchmark `json:"benchmarks"`
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	merge := flag.Bool("merge", false,
 		"merge into an existing -o report: same (pkg, name) results are replaced, new ones appended")
+	compare := flag.Bool("compare", false,
+		"compare two archived reports (old.json new.json) instead of reading bench output; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.10,
+		"relative regression threshold for -compare (0.10 = 10%)")
 	flag.Parse()
+
+	if *compare {
+		// Flags may trail the two file arguments (the repo's usual
+		// "verb then options" shape); re-parse the remainder.
+		args := flag.Args()
+		if len(args) > 2 {
+			if err := flag.CommandLine.Parse(args[2:]); err != nil {
+				os.Exit(2)
+			}
+			args = args[:2]
+		}
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare old.json new.json [-threshold 0.10]")
+			os.Exit(2)
+		}
+		compareMain(args[0], args[1], *threshold)
+		return
+	}
 
 	// benchjson usually sits at the end of a pipe from a long `go test
 	// -bench` run; SIGINT/SIGTERM abort the scan between lines instead
@@ -59,6 +96,7 @@ func main() {
 	defer stop()
 
 	rep := Report{Date: time.Now().UTC().Format("2006-01-02")}
+	rep.GoVersion, rep.VCSRevision = telemetry.BuildInfo()
 	var pkg string
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)

@@ -48,6 +48,7 @@ func main() {
 	tableCacheSize := flag.String("table-cache-size", "", "on-disk table cache budget under -table-cache, e.g. 512M (empty = unbounded)")
 	telemetryOut := flag.String("telemetry", "", "write the telemetry snapshot (phase spans + counters) as JSON to this file ('-' for stdout)")
 	telemetryText := flag.Bool("telemetry-text", false, "render the telemetry snapshot as text on stderr after the run")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /events, /healthz and /debug/pprof on this address (e.g. :9090) while the run is in flight")
 	quiet := flag.Bool("quiet", false, "suppress per-phase progress lines on stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
@@ -109,12 +110,23 @@ func main() {
 	}
 
 	// The sink is on whenever any consumer wants it: progress lines
-	// (default), the JSON report, or the text report. A fully quiet run
-	// with no report keeps it nil — instrumentation then costs nothing.
+	// (default), the JSON report, the text report, or the live metrics
+	// endpoint. A fully quiet run with no report keeps it nil —
+	// instrumentation then costs nothing.
 	var sink *telemetry.Sink
-	if *telemetryOut != "" || *telemetryText || !*quiet {
+	if *telemetryOut != "" || *telemetryText || *metricsAddr != "" || !*quiet {
 		sink = telemetry.New()
 		experiments.SetTelemetry(sink)
+	}
+	var server *telemetry.Server
+	if *metricsAddr != "" {
+		server, err = telemetry.StartServer(*metricsAddr, sink)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "repro: serving metrics on http://%s/metrics\n", server.Addr())
+		}
 	}
 	if sink != nil && !*quiet {
 		start := time.Now()
@@ -140,6 +152,7 @@ func main() {
 		w = f
 	}
 
+	sink.PublishRun("repro", "start")
 	err = runExperiments(w, name)
 	if perr := stopProfiles(); err == nil {
 		err = perr
@@ -147,7 +160,15 @@ func main() {
 	cancelled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if cancelled {
 		sink.Counter("run.cancelled").Inc()
+		sink.PublishRun("repro", "cancelled")
+	} else if err == nil {
+		sink.PublishRun("repro", "done")
 	}
+	// Drain the async progress hook before writing final reports, so
+	// every span line lands on stderr ahead of the summary (and the
+	// single-worker progress stream stays byte-identical to the old
+	// synchronous hook).
+	sink.Flush()
 
 	// Flush the snapshot before judging err: an interrupted run still
 	// produces its (marked) report of the work completed so far.
@@ -172,6 +193,11 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	// Give the live endpoint a moment to serve final scrapes, then stop
+	// it on every exit path (streamed /events clients are cut off).
+	if serr := server.ShutdownTimeout(2 * time.Second); serr != nil && !*quiet {
+		fmt.Fprintln(os.Stderr, "repro: metrics server:", serr)
 	}
 	if cancelled {
 		fmt.Fprintln(os.Stderr, "repro: interrupted:", err)

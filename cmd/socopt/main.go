@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"soctap/internal/ate"
 	"soctap/internal/core"
@@ -48,6 +49,7 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the plan as JSON to this file ('-' for stdout)")
 	telemetryOut := flag.String("telemetry", "", "write the telemetry snapshot (phase spans + counters) as JSON to this file ('-' for stdout)")
 	telemetryText := flag.Bool("telemetry-text", false, "render the telemetry snapshot as text on stderr after the run")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics, /events, /healthz and /debug/pprof on this address (e.g. :9090) while the run is in flight")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file (taken at exit)")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -75,20 +77,32 @@ func main() {
 		fatal(err)
 	}
 	var sink *telemetry.Sink
-	if *telemetryOut != "" || *telemetryText {
+	if *telemetryOut != "" || *telemetryText || *metricsAddr != "" {
 		sink = telemetry.New()
+	}
+	var server *telemetry.Server
+	if *metricsAddr != "" {
+		server, err = telemetry.StartServer(*metricsAddr, sink)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "socopt: serving metrics on http://%s/metrics\n", server.Addr())
 	}
 	// fail is fatal plus the interrupted-run epilogue: cancelled runs
 	// mark and flush the telemetry snapshot before exiting 130.
 	fail := func(err error) {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			sink.Counter("run.cancelled").Inc()
+			sink.PublishRun("socopt", "cancelled")
+			sink.Flush()
 			writeTelemetry(sink, *telemetryOut, *telemetryText)
+			server.ShutdownTimeout(2 * time.Second)
 			fmt.Fprintln(os.Stderr, "socopt: interrupted:", err)
 			os.Exit(130)
 		}
 		fatal(err)
 	}
+	sink.PublishRun("socopt", "start")
 
 	pt := sink.Span("parse").Begin()
 	s, err := loadDesign(*design)
@@ -169,7 +183,13 @@ func main() {
 	if err := stopProfiles(); err != nil {
 		fatal(err)
 	}
+	sink.PublishRun("socopt", "done")
+	sink.Flush()
 	writeTelemetry(sink, *telemetryOut, *telemetryText)
+	// Allow a final scrape, then stop the live endpoint.
+	if serr := server.ShutdownTimeout(2 * time.Second); serr != nil {
+		fmt.Fprintln(os.Stderr, "socopt: metrics server:", serr)
+	}
 }
 
 // writeTelemetry flushes the telemetry snapshot to the -telemetry file

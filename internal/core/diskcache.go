@@ -321,7 +321,7 @@ func (ds *diskStore) setCap(capBytes int64) {
 func (ds *diskStore) load(key string, c *soc.Core, opts TableOptions, tel *telemetry.Sink, warnf func(string, ...any)) (*Table, diskStatus) {
 	t0 := time.Now()
 	t, status, reason, rewrite := loadDiskTable(ds.dir, key, c, opts)
-	tel.Timer("diskcache.load").Add(time.Since(t0))
+	tel.Histogram("diskcache.load_seconds").Observe(time.Since(t0))
 	switch status {
 	case diskHit:
 		tel.Counter("diskcache.hits").Inc()

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"soctap/internal/cube"
 	"soctap/internal/selenc"
@@ -117,6 +118,11 @@ type Evaluator struct {
 	noTDCEvals  *telemetry.Counter
 	windowLoads *telemetry.Counter
 	windowCubes *telemetry.Counter
+	// windowHist distributes the wall-clock cost of streamed window
+	// loads (source replay + plane build). Resident passes load nothing,
+	// so they record nothing; the clock is only read when a sink is
+	// attached.
+	windowHist *telemetry.Histogram
 	// peakHeap is the heap high-water gauge, sampled at window
 	// boundaries every heapSampleStride loads (ReadMemStats is
 	// stop-the-world, so per-window sampling would dominate at small
@@ -143,6 +149,7 @@ func (e *Evaluator) attachTelemetry(tel *telemetry.Sink) {
 	e.noTDCEvals = tel.Counter("eval.notdc_evals")
 	e.windowLoads = tel.Counter("eval.window_loads")
 	e.windowCubes = tel.Counter("eval.window_cubes")
+	e.windowHist = tel.Histogram("eval.window_load_seconds")
 	e.peakHeap = tel.Gauge("eval.peak_heap_bytes")
 }
 
@@ -270,6 +277,10 @@ func (e *Evaluator) nextWindow() bool {
 		e.noteWindow(e.patterns)
 		return true
 	}
+	var t0 time.Time
+	if e.windowHist != nil {
+		t0 = time.Now()
+	}
 	n := min(e.window, e.patterns-e.passPos)
 	e.careRef = e.careRef[:0]
 	e.cubeOff = e.cubeOff[:0]
@@ -307,6 +318,9 @@ func (e *Evaluator) nextWindow() bool {
 	e.kern.dense = density >= denseDensityThreshold
 	if e.kern.dense {
 		e.buildWindowFlatPlanes()
+	}
+	if e.windowHist != nil {
+		e.windowHist.Observe(time.Since(t0))
 	}
 	e.noteWindow(loaded)
 	return true

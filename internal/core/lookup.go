@@ -319,6 +319,7 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 	direct := make([]Config, directM+1)
 
 	tel.Counter("tables.built").Inc()
+	buildStart := time.Now()
 	pc := pruneCounters{
 		pruned:     tel.Counter("eval.pruned"),
 		corePruned: tel.Counter("prune." + c.Name + ".pruned"),
@@ -383,6 +384,10 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 			t.Best[u] = best
 		}
 	}
+	// One observation per completed build: the count mirrors
+	// tables.built on clean runs (failed/cancelled builds are absent),
+	// the distribution is wall clock.
+	tel.Histogram("tables.build_seconds").Observe(time.Since(buildStart))
 	return t, nil
 }
 

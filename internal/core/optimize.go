@@ -464,6 +464,9 @@ type searchCtx struct {
 	memoHits   *telemetry.Counter
 	memoMisses *telemetry.Counter
 	placements *telemetry.Counter
+	// scheduleHist distributes per-placement wall clock; shared by every
+	// worker planner like placements (the histogram is atomic).
+	scheduleHist *telemetry.Histogram
 }
 
 // newSearchCtx precomputes the dense duration matrix: one flat int64
@@ -497,7 +500,9 @@ func newSearchCtx(ctx context.Context, s *soc.SOC, wtam int, selectors []selecto
 		sc.memoHits = sink.Counter("search.memo_hits")
 		sc.memoMisses = sink.Counter("search.memo_misses")
 		sc.placements = sink.Counter("sched.placements")
+		sc.scheduleHist = sink.Histogram("sched.schedule_seconds")
 		sc.planner.Placements = sc.placements
+		sc.planner.ScheduleSeconds = sc.scheduleHist
 	}
 	return sc
 }
@@ -625,7 +630,7 @@ func (sc *searchCtx) evalBatchKeys(cands []tam.Partition, keys []string) []int64
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				pl := sched.Planner{Placements: sc.placements, Check: sc.check}
+				pl := sched.Planner{Placements: sc.placements, ScheduleSeconds: sc.scheduleHist, Check: sc.check}
 				for {
 					if sc.aborted() {
 						return

@@ -15,8 +15,8 @@ import (
 )
 
 // telemetrize runs Optimize on the SOC with a fresh sink and fresh
-// caches and returns the counter snapshot.
-func telemetrize(t *testing.T, s *soc.SOC, workers int) map[string]int64 {
+// caches and returns the full snapshot.
+func telemetrize(t *testing.T, s *soc.SOC, workers int) *telemetry.Snapshot {
 	t.Helper()
 	sink := telemetry.New()
 	_, err := Optimize(s, 16, Options{
@@ -30,7 +30,7 @@ func telemetrize(t *testing.T, s *soc.SOC, workers int) map[string]int64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sink.Snapshot().Counters
+	return sink.Snapshot()
 }
 
 // TestTelemetryCounterDeterminism: the counter snapshot of a d695 run
@@ -40,8 +40,8 @@ func telemetrize(t *testing.T, s *soc.SOC, workers int) map[string]int64 {
 // the tier-1 gate.
 func TestTelemetryCounterDeterminism(t *testing.T) {
 	s := soc.D695()
-	seq := telemetrize(t, s, 1)
-	par := telemetrize(t, soc.D695(), 8)
+	seq := telemetrize(t, s, 1).Counters
+	par := telemetrize(t, soc.D695(), 8).Counters
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("counters differ across worker counts:\nworkers=1: %v\nworkers=8: %v", seq, par)
 	}
@@ -57,6 +57,36 @@ func TestTelemetryCounterDeterminism(t *testing.T) {
 	if seq["tables.built"] != int64(len(s.Cores)) {
 		t.Errorf("tables.built = %d, want %d (one build per core on a cold cache)",
 			seq["tables.built"], len(s.Cores))
+	}
+}
+
+// TestHistogramCountInvariance: a histogram's observation *count* is as
+// deterministic as the counters — one observation per algorithmic event
+// (a table build, a schedule evaluation) — so Workers=1 and Workers=8
+// runs on d695 record identical counts in every histogram. The observed
+// values are wall clock; only counts are compared. Runs under -race in
+// the obs gate.
+func TestHistogramCountInvariance(t *testing.T) {
+	counts := func(sn *telemetry.Snapshot) map[string]int64 {
+		m := make(map[string]int64, len(sn.Histograms))
+		for name, h := range sn.Histograms {
+			m[name] = h.Count
+		}
+		return m
+	}
+	seq := telemetrize(t, soc.D695(), 1)
+	par := telemetrize(t, soc.D695(), 8)
+	if sc, pc := counts(seq), counts(par); !reflect.DeepEqual(sc, pc) {
+		t.Fatalf("histogram counts differ across worker counts:\nworkers=1: %v\nworkers=8: %v", sc, pc)
+	}
+	for _, name := range []string{"tables.build_seconds", "sched.schedule_seconds"} {
+		if seq.Histograms[name].Count == 0 {
+			t.Errorf("histogram %s has no observations; instrumentation not reaching that subsystem (have %v)",
+				name, counts(seq))
+		}
+	}
+	if got, want := seq.Histograms["tables.build_seconds"].Count, seq.Counters["tables.built"]; got != want {
+		t.Errorf("tables.build_seconds count = %d, want %d (one observation per completed build)", got, want)
 	}
 }
 

@@ -93,7 +93,8 @@ func expContext() context.Context {
 //
 //	defer expSpan("tab3").End()
 func expSpan(name string) telemetry.Timing {
-	telSpan = telSink.Span(name) // nil sink → nil span → all no-ops
+	telSink.PublishRun("experiment:"+name, "start") // live run marker on the event bus
+	telSpan = telSink.Span(name)                    // nil sink → nil span → all no-ops
 	return telSpan.Begin()
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"soctap/internal/telemetry"
 )
@@ -124,6 +125,12 @@ type Planner struct {
 	// allocations and unmeasurable overhead.
 	Placements *telemetry.Counter
 
+	// ScheduleSeconds, when non-nil, distributes the wall-clock cost of
+	// each makespan placement — one observation per evaluated schedule,
+	// so its count tracks sched.placements / len(order). Nil (the
+	// default) reads no clock, preserving the zero-overhead contract.
+	ScheduleSeconds *telemetry.Histogram
+
 	// Check, when non-nil, is consulted once per schedule evaluation
 	// (the architecture search's candidate granularity); a non-nil
 	// return aborts the evaluation with that error. The search sets it
@@ -236,6 +243,10 @@ func (p *Planner) placeMakespan(order []int, widths []int, dur Duration) (int64,
 	if err := p.check(); err != nil {
 		return 0, err
 	}
+	var t0 time.Time
+	if p.ScheduleSeconds != nil {
+		t0 = time.Now()
+	}
 	if cap(p.busTimes) < len(widths) {
 		p.busTimes = make([]int64, len(widths))
 	}
@@ -265,6 +276,9 @@ func (p *Planner) placeMakespan(order []int, widths []int, dur Duration) (int64,
 		makespan = max(makespan, bestFinish)
 	}
 	p.Placements.Add(int64(len(order)))
+	if p.ScheduleSeconds != nil {
+		p.ScheduleSeconds.Observe(time.Since(t0))
+	}
 	return makespan, nil
 }
 

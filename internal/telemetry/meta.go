@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Meta is the run-attribution block of a snapshot: how long the sink
+// has been alive and which toolchain/commit produced the binary. It is
+// what makes an archived run report (or a BENCH_*.json derived from
+// one) attributable to a commit.
+type Meta struct {
+	// WallNs is the wall-clock age of the sink at snapshot time, in
+	// nanoseconds (a runtime observation, not deterministic).
+	WallNs int64 `json:"run_wall_ns"`
+	// GoVersion is runtime.Version() of the producing binary.
+	GoVersion string `json:"go_version,omitempty"`
+	// VCSRevision is the vcs.revision build setting (with a "+dirty"
+	// suffix when the working tree was modified); empty when the binary
+	// was built without VCS stamping (go test binaries, some go run
+	// invocations).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildRevision string
+)
+
+// BuildInfo returns the running binary's Go version and VCS revision
+// (empty when not stamped). cmd/benchjson uses it to carry the same
+// attribution into BENCH_*.json archives that snapshots carry in Meta.
+func BuildInfo() (goVersion, vcsRevision string) {
+	buildInfoOnce.Do(func() {
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev string
+		dirty := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" && dirty {
+			rev += "+dirty"
+		}
+		buildRevision = rev
+	})
+	return runtime.Version(), buildRevision
+}

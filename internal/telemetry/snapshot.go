@@ -11,17 +11,24 @@ import (
 	"soctap/internal/report"
 )
 
-// Snapshot is a point-in-time copy of a sink: counters (exact,
-// deterministic for any worker count), timers and gauges (runtime
-// observations, not), and the span tree. It renders as deterministic
-// JSON (map keys sorted by encoding/json, spans in creation order) and
-// as human text.
+// Snapshot is a point-in-time copy of a sink: run metadata, counters
+// (exact, deterministic for any worker count), timers/gauges/histogram
+// distributions (runtime observations, not), and the span tree. It
+// renders as deterministic JSON (map keys sorted by encoding/json,
+// spans in creation order), as human text (Render), and as OpenMetrics
+// exposition text (WriteOpenMetrics).
 type Snapshot struct {
-	TotalSeconds float64            `json:"total_seconds"`
-	Counters     map[string]int64   `json:"counters"`
-	Timings      map[string]float64 `json:"timings_seconds,omitempty"`
-	Gauges       map[string]int64   `json:"gauges,omitempty"`
-	Spans        []SpanSnap         `json:"spans,omitempty"`
+	TotalSeconds float64                  `json:"total_seconds"`
+	Meta         Meta                     `json:"meta"`
+	Counters     map[string]int64         `json:"counters"`
+	Timings      map[string]float64       `json:"timings_seconds,omitempty"`
+	Gauges       map[string]int64         `json:"gauges,omitempty"`
+	Histograms   map[string]HistogramSnap `json:"histograms,omitempty"`
+	// EventsDropped counts bus events dropped against slow subscribers
+	// (a scheduling accident, excluded from the determinism guarantee
+	// and from Counters; see bus.go).
+	EventsDropped int64      `json:"events_dropped,omitempty"`
+	Spans         []SpanSnap `json:"spans,omitempty"`
 }
 
 // SpanSnap is one node of the snapshot's phase tree.
@@ -32,6 +39,26 @@ type SpanSnap struct {
 	Children []SpanSnap `json:"children,omitempty"`
 }
 
+// HistogramSnap is the snapshot form of one latency histogram: the
+// deterministic observation count, then the wall-clock distribution —
+// total and p50/p90/p99 estimates in seconds, and the non-empty log2
+// buckets (bucket b spans [2^(b-1), 2^b) nanoseconds) in ascending
+// order.
+type HistogramSnap struct {
+	Count      int64             `json:"count"`
+	SumSeconds float64           `json:"sum_seconds"`
+	P50Seconds float64           `json:"p50_seconds"`
+	P90Seconds float64           `json:"p90_seconds"`
+	P99Seconds float64           `json:"p99_seconds"`
+	Buckets    []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// HistogramBucket is one non-empty log2 bucket of a HistogramSnap.
+type HistogramBucket struct {
+	Log2  int   `json:"log2"`
+	Count int64 `json:"count"`
+}
+
 // Snapshot copies the sink's current state. On a nil sink it returns an
 // empty snapshot, so report paths need no enabled-check either.
 func (s *Sink) Snapshot() *Snapshot {
@@ -39,7 +66,11 @@ func (s *Sink) Snapshot() *Snapshot {
 	if s == nil {
 		return sn
 	}
-	sn.TotalSeconds = time.Since(s.start).Seconds()
+	wall := time.Since(s.start)
+	sn.TotalSeconds = wall.Seconds()
+	sn.Meta.WallNs = wall.Nanoseconds()
+	sn.Meta.GoVersion, sn.Meta.VCSRevision = BuildInfo()
+	sn.EventsDropped = s.bus.dropped.Load()
 	s.mu.Lock()
 	for name, c := range s.counters {
 		sn.Counters[name] = c.Value()
@@ -54,6 +85,12 @@ func (s *Sink) Snapshot() *Snapshot {
 		sn.Gauges = make(map[string]int64, len(s.gauges))
 		for name, g := range s.gauges {
 			sn.Gauges[name] = g.Value()
+		}
+	}
+	if len(s.histograms) > 0 {
+		sn.Histograms = make(map[string]HistogramSnap, len(s.histograms))
+		for name, h := range s.histograms {
+			sn.Histograms[name] = h.snap()
 		}
 	}
 	s.mu.Unlock()
@@ -303,6 +340,25 @@ func (sn *Snapshot) Render(w io.Writer) error {
 		}
 	}
 
+	if len(sn.Histograms) > 0 {
+		names := make([]string, 0, len(sn.Histograms))
+		for n := range sn.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		tab := report.NewTable("\nlatency histograms (counts deterministic, quantiles wall clock)",
+			"histogram", "count", "p50", "p90", "p99", "sum")
+		for _, n := range names {
+			h := sn.Histograms[n]
+			tab.Add(n, fmt.Sprint(h.Count),
+				fmtSeconds(h.P50Seconds), fmtSeconds(h.P90Seconds),
+				fmtSeconds(h.P99Seconds), fmtSeconds(h.SumSeconds))
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+
 	if len(sn.Timings) > 0 {
 		names := make([]string, 0, len(sn.Timings))
 		for n := range sn.Timings {
@@ -318,4 +374,19 @@ func (sn *Snapshot) Render(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// fmtSeconds renders a seconds value compactly across the µs-to-minutes
+// range the histograms span.
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 0.001:
+		return fmt.Sprintf("%.1fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
 }

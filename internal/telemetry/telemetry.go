@@ -1,8 +1,12 @@
-// Package telemetry is the instrumentation layer of the optimizer
-// pipeline: hierarchical phase spans (parse → per-core table builds →
-// architecture search → schedule → verify), race-safe counters
-// registered by subsystem (cache hits, memo hits, kernel invocations),
-// and wall-clock timers (worker busy time).
+// Package telemetry is the instrumentation and observability layer of
+// the optimizer pipeline: hierarchical phase spans (parse → per-core
+// table builds → architecture search → schedule → verify), race-safe
+// counters registered by subsystem (cache hits, memo hits, kernel
+// invocations), wall-clock timers (worker busy time), log2-bucketed
+// latency histograms with quantiles (histogram.go), a bounded
+// non-blocking event bus for live consumers (bus.go), and HTTP
+// exposition — /metrics, /healthz, streaming /events, /debug/pprof —
+// for watching a run mid-flight (expose.go).
 //
 // The layer is zero-overhead when disabled. Every method is safe on a
 // nil receiver and does nothing: a nil *Sink yields nil *Counter, nil
@@ -38,14 +42,19 @@ import (
 
 // Counter is a race-safe monotonic event counter. The nil Counter is a
 // no-op, so callers hold plain fields and never branch on "enabled".
+// Registered counters publish a KindCounter delta event per Add when
+// the sink's bus has subscribers (one atomic load otherwise).
 type Counter struct {
-	v atomic.Int64
+	v    atomic.Int64
+	name string
+	bus  *bus
 }
 
 // Add increments the counter by n; no-op on nil.
 func (c *Counter) Add(n int64) {
 	if c != nil {
-		c.v.Add(n)
+		v := c.v.Add(n)
+		c.bus.publishCounter(c.name, n, v)
 	}
 }
 
@@ -65,9 +74,12 @@ func (c *Counter) Value() int64 {
 // gauge values reflect runtime accidents (GC timing, sampling points)
 // and are excluded from the worker-count determinism guarantee; the
 // Snapshot type reports them apart from counters. The nil Gauge is a
-// no-op.
+// no-op. A registered gauge publishes a KindGauge event when (and only
+// when) an observation raises the maximum.
 type Gauge struct {
-	v atomic.Int64
+	v    atomic.Int64
+	name string
+	bus  *bus
 }
 
 // Observe raises the gauge to v if v exceeds the current maximum; no-op
@@ -78,7 +90,11 @@ func (g *Gauge) Observe(v int64) {
 	}
 	for {
 		cur := g.v.Load()
-		if v <= cur || g.v.CompareAndSwap(cur, v) {
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			g.bus.publishGauge(g.name, v)
 			return
 		}
 	}
@@ -193,17 +209,27 @@ func (t Timing) End() {
 	t.sp.sink.spanEnded(t.sp.path, d)
 }
 
-// Sink is the root of one telemetry domain: a counter/timer registry
-// plus a span tree. The nil *Sink disables everything it hands out.
+// Sink is the root of one telemetry domain: a counter/timer/gauge/
+// histogram registry, a span tree, and an event bus fanning live events
+// out to subscribers (see bus.go). The nil *Sink disables everything it
+// hands out.
 type Sink struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	timers   map[string]*Timer
-	gauges   map[string]*Gauge
-	root     Span
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	timers     map[string]*Timer
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	root       Span
 
-	hookMu   sync.Mutex
-	spanHook func(path string, elapsed time.Duration)
+	bus bus
+
+	// The span hook is a bus subscriber on a dedicated goroutine (see
+	// SetSpanHook); hookMu guards its installation state and fn.
+	hookMu    sync.Mutex
+	hookFn    func(path string, elapsed time.Duration)
+	hookSub   *Subscription
+	hookFlush chan chan struct{}
+	hookDone  chan struct{}
 
 	start time.Time
 }
@@ -241,7 +267,7 @@ func (s *Sink) Counter(name string) *Counter {
 	if s.counters == nil {
 		s.counters = make(map[string]*Counter)
 	}
-	c := new(Counter)
+	c := &Counter{name: name, bus: &s.bus}
 	s.counters[name] = c
 	return c
 }
@@ -279,33 +305,145 @@ func (s *Sink) Gauge(name string) *Gauge {
 	if s.gauges == nil {
 		s.gauges = make(map[string]*Gauge)
 	}
-	g := new(Gauge)
+	g := &Gauge{name: name, bus: &s.bus}
 	s.gauges[name] = g
 	return g
 }
 
+// hookBuffer sizes the span-hook subscription's ring. Span ends are
+// phase/core granular (hundreds per run, not millions), so this is deep
+// enough that no progress line is lost on any realistic run; should a
+// consumer stall completely, overflow drops and counts like any other
+// subscription instead of blocking workers.
+const hookBuffer = 4096
+
 // SetSpanHook installs fn to run on every span End with the span's
 // "/"-joined path and that interval's duration — the progress-line hook
-// of cmd/repro. fn may be called from worker goroutines; invocations
-// are serialized by the sink. No-op on a nil sink.
+// of cmd/repro. The hook is a bus subscriber consumed on a dedicated
+// goroutine: span Ends on worker goroutines publish without blocking
+// (the old implementation invoked fn synchronously under a lock, so one
+// slow consumer stalled every concurrent worker's End). Delivery is
+// FIFO, so a sequential run is observed in publish order; call Flush
+// (or Close) before reading anything ordered after the hooked output.
+// Passing nil uninstalls the fn (the subscriber goroutine stays, idle).
+// No-op on a nil sink.
 func (s *Sink) SetSpanHook(fn func(path string, elapsed time.Duration)) {
 	if s == nil {
 		return
 	}
 	s.hookMu.Lock()
-	s.spanHook = fn
-	s.hookMu.Unlock()
+	defer s.hookMu.Unlock()
+	s.hookFn = fn
+	if fn == nil || s.hookSub != nil {
+		return
+	}
+	s.hookSub = s.bus.subscribe(MaskSpan, hookBuffer)
+	s.hookFlush = make(chan chan struct{})
+	s.hookDone = make(chan struct{})
+	go s.runHook(s.hookSub, s.hookFlush, s.hookDone)
 }
 
-// spanEnded fires the span hook under the hook lock (serializing
-// concurrent worker-end events); no-op on nil sinks or unset hooks.
-func (s *Sink) spanEnded(path string, d time.Duration) {
+// runHook is the span-hook consumer goroutine: it drains the hook
+// subscription, invoking the installed fn per event, and answers Flush
+// barriers.
+func (s *Sink) runHook(sub *Subscription, flush chan chan struct{}, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			s.callHook(ev)
+		case ack := <-flush:
+			if !s.drainHook(sub) {
+				close(ack)
+				return
+			}
+			close(ack)
+		}
+	}
+}
+
+// drainHook consumes everything currently buffered on the hook
+// subscription; false once the subscription is closed.
+func (s *Sink) drainHook(sub *Subscription) bool {
+	for {
+		select {
+		case ev, ok := <-sub.C():
+			if !ok {
+				return false
+			}
+			s.callHook(ev)
+		default:
+			return true
+		}
+	}
+}
+
+// callHook invokes the currently-installed hook fn for one span event.
+// fn is read under hookMu but invoked outside it, so a slow fn never
+// holds the lock — only its own goroutine.
+func (s *Sink) callHook(ev Event) {
+	s.hookMu.Lock()
+	fn := s.hookFn
+	s.hookMu.Unlock()
+	if fn != nil {
+		fn(ev.Name, time.Duration(ev.DurNs))
+	}
+}
+
+// Flush blocks until every span event published before the call has
+// been delivered to the hook (if one is installed) — the barrier
+// cmd/repro uses so all progress lines land on stderr before the final
+// report. Events published concurrently with Flush may or may not be
+// included. No-op on a nil sink or without a hook.
+func (s *Sink) Flush() {
 	if s == nil {
 		return
 	}
 	s.hookMu.Lock()
-	defer s.hookMu.Unlock()
-	if s.spanHook != nil {
-		s.spanHook(path, d)
+	flush, done := s.hookFlush, s.hookDone
+	s.hookMu.Unlock()
+	if flush == nil {
+		return
 	}
+	ack := make(chan struct{})
+	select {
+	case flush <- ack:
+		<-ack
+	case <-done:
+	}
+}
+
+// Close flushes and stops the span-hook subscriber. The sink's
+// instruments remain usable (a later SetSpanHook restarts the
+// subscriber); Close exists so a process can guarantee its hooked
+// output is complete before exiting. Safe to call more than once and
+// on nil.
+func (s *Sink) Close() {
+	if s == nil {
+		return
+	}
+	s.hookMu.Lock()
+	sub, done := s.hookSub, s.hookDone
+	s.hookSub, s.hookFlush, s.hookDone = nil, nil, nil
+	s.hookMu.Unlock()
+	if sub == nil {
+		return
+	}
+	// Closing the subscription lets the runner drain what is buffered,
+	// observe the channel close, and exit.
+	sub.Close()
+	<-done
+}
+
+// spanEnded publishes a span-end event on the bus; no-op on nil sinks
+// and free (one atomic load) without subscribers. The span hook, when
+// installed, is one of the subscribers.
+func (s *Sink) spanEnded(path string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.bus.publishSpan(path, d)
 }

@@ -15,9 +15,15 @@ import (
 // nil span, nil counter, nil timer, zero timing — must be a safe no-op.
 func TestNilSinkIsInert(t *testing.T) {
 	var s *Sink
-	if s.Root() != nil || s.Span("x") != nil || s.Counter("c") != nil || s.Timer("t") != nil || s.Gauge("g") != nil {
+	if s.Root() != nil || s.Span("x") != nil || s.Counter("c") != nil || s.Timer("t") != nil || s.Gauge("g") != nil || s.Histogram("h") != nil {
 		t.Fatal("nil sink handed out non-nil instruments")
 	}
+	if s.Subscribe(MaskAll, 8) != nil {
+		t.Fatal("nil sink handed out a subscription")
+	}
+	s.PublishRun("r", "start")
+	s.Flush()
+	s.Close()
 	s.SetSpanHook(func(string, time.Duration) { t.Fatal("hook on nil sink") })
 
 	var sp *Span
@@ -42,6 +48,12 @@ func TestNilSinkIsInert(t *testing.T) {
 	if g.Value() != 0 {
 		t.Fatal("nil gauge has a value")
 	}
+	var h *Histogram
+	h.Record(42)
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram has state")
+	}
 
 	sn := s.Snapshot()
 	if sn == nil || len(sn.Counters) != 0 || len(sn.Spans) != 0 {
@@ -56,11 +68,13 @@ func TestNilFastPathAllocs(t *testing.T) {
 	var tm *Timer
 	var sp *Span
 	var g *Gauge
+	var h *Histogram
 	if n := testing.AllocsPerRun(1000, func() {
 		c.Inc()
 		c.Add(3)
 		tm.Add(time.Millisecond)
 		g.Observe(7)
+		h.Record(9)
 		sp.Begin().End()
 		_ = sp.Child("x")
 	}); n != 0 {
@@ -162,6 +176,9 @@ func TestSpanHook(t *testing.T) {
 	}
 	wg.Wait()
 	parent.Begin().End()
+	// The hook runs on the bus subscriber goroutine; Flush is the
+	// delivery barrier for everything published above.
+	s.Flush()
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -215,6 +232,7 @@ func TestSnapshotJSONDeterminism(t *testing.T) {
 		s.Counter("c.three").Add(3)
 		sn := s.Snapshot()
 		sn.TotalSeconds = 0 // timing erased for the byte comparison
+		sn.Meta.WallNs = 0
 		var buf bytes.Buffer
 		if err := sn.WriteJSON(&buf); err != nil {
 			t.Fatal(err)

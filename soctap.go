@@ -40,6 +40,7 @@ package soctap
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"soctap/internal/ate"
 	"soctap/internal/atevec"
@@ -135,12 +136,47 @@ type TelemetrySpan = telemetry.Span
 // (WriteJSON) or human text (Render).
 type TelemetrySnapshot = telemetry.Snapshot
 
+// TelemetryHistogram is a log2-bucketed latency distribution with
+// p50/p90/p99 quantiles in the snapshot. A nil histogram records
+// nothing at zero cost; a live one is lock-free and allocation-free.
+// Observation counts are worker-count deterministic like counters;
+// the observed values are wall clock.
+type TelemetryHistogram = telemetry.Histogram
+
+// TelemetryEvent is one typed event on a sink's live bus: a span
+// ending, a counter delta, a gauge high-water raise, or a run
+// lifecycle mark. Marshals as one-line JSON for NDJSON streams.
+type TelemetryEvent = telemetry.Event
+
+// TelemetrySubscription is a live tap on a sink's event bus. The bus
+// never blocks publishers: events beyond the subscription's buffer are
+// dropped and counted (Dropped).
+type TelemetrySubscription = telemetry.Subscription
+
+// TelemetryServer is a running observability HTTP server (see
+// StartTelemetryServer).
+type TelemetryServer = telemetry.Server
+
 // NewTelemetry creates an enabled telemetry sink:
 //
 //	sink := soctap.NewTelemetry()
 //	res, err := soctap.Optimize(s, 32, soctap.Options{Telemetry: sink.Root()})
 //	sink.Snapshot().WriteJSON(os.Stdout)
 func NewTelemetry() *TelemetrySink { return telemetry.New() }
+
+// NewTelemetryHandler returns the observability endpoint for the sink —
+// /metrics (OpenMetrics text), /healthz, /events (live NDJSON, filter
+// with ?kinds=span,counter,gauge,run) and /debug/pprof — for mounting
+// into an existing HTTP mux.
+func NewTelemetryHandler(s *TelemetrySink) http.Handler { return telemetry.NewHandler(s) }
+
+// StartTelemetryServer serves NewTelemetryHandler on addr (":0" picks
+// a free port; Addr reports it) in the background. Shutdown ends open
+// /events streams and stops the listener; a nil server shuts down as a
+// no-op. This is what the -metrics-addr flag of socopt and repro does.
+func StartTelemetryServer(addr string, s *TelemetrySink) (*TelemetryServer, error) {
+	return telemetry.StartServer(addr, s)
+}
 
 // BaselineResult is a prior-work proxy evaluation.
 type BaselineResult = baselines.Result
