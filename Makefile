@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke bench-json bench-big bench-big-smoke bench-compare telemetry-overhead kernel-equivalence robustness cachefmt obs
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json bench-big bench-big-smoke bench-compare telemetry-overhead kernel-equivalence fused-equivalence robustness cachefmt obs
 
 # check is the tier-1 gate: everything must pass before a change lands.
 # A PR that touches the kernels or the sweep should also refresh the
 # dated benchmark archive with `make bench-json` and note the numbers.
-check: vet build test race bench-smoke bench-big-smoke telemetry-overhead kernel-equivalence robustness cachefmt obs
+check: vet build test race bench-smoke bench-big-smoke telemetry-overhead kernel-equivalence fused-equivalence robustness cachefmt obs
 
 vet:
 	$(GO) vet ./...
@@ -57,17 +57,19 @@ bench-json:
 # into the dated benchmark archive next to the bench-json headliners.
 bench-big:
 	SOCTAP_GIANT=1 $(GO) test -run TestStreamingPeakMemoryGiant -count=1 -v -timeout 1800s ./internal/core
-	$(GO) test -run '^$$' -bench 'BenchmarkStreamGiantSweep$$' -benchtime 1x -benchmem -timeout 1800s ./internal/core \
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamGiantSweep$$|BenchmarkFusedGiantTable$$' -benchtime 1x -benchmem -timeout 1800s ./internal/core \
 	| $(GO) run ./cmd/benchjson -merge -o BENCH_$$(date +%Y-%m-%d).json
 	@echo merged into BENCH_$$(date +%Y-%m-%d).json
 
 # bench-big-smoke is the tier-1 slice of bench-big: the same sweep on a
 # scaled-down member of the giant family, plus the window-proportional
 # peak-memory gate (streamed evaluator footprint must stay O(window),
-# far under the materialized whole-set footprint).
+# far under the materialized whole-set footprint) and the fused-pass
+# counter gate (eval.passes / eval.fused_points / window loads must be
+# identical at Workers 1 and 8 on the smoke-scale giant core).
 bench-big-smoke:
-	$(GO) test -run 'TestStreamingPeakMemorySmoke' -count=1 ./internal/core
-	$(GO) test -run '^$$' -bench 'BenchmarkStreamGiantSweep$$' -benchtime 1x -short ./internal/core
+	$(GO) test -run 'TestStreamingPeakMemorySmoke|TestFusedCountersWorkerInvariance' -count=1 ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkStreamGiantSweep$$|BenchmarkFusedGiantTable$$' -benchtime 1x -short ./internal/core
 
 # kernel-equivalence asserts the word-parallel kernel and sweep-pruning
 # exactness contracts: both plane-building paths agree with each other
@@ -82,6 +84,20 @@ kernel-equivalence:
 	$(GO) test -run 'TestStreamingTableEquivalence|TestStreamingEvaluatorEquivalence|TestEvalWindowValidation|TestStreamingWindowTelemetry|FuzzStreamingWindowEquivalence' -count=1 ./internal/core
 	$(GO) test -run 'FuzzWordKernels' -count=1 ./internal/bitvec
 	$(GO) test -run 'FuzzEncodeDecodeRoundTrip|FuzzDecodeStream' -count=1 ./internal/selenc
+
+# fused-equivalence asserts the fused single-pass sweep's exactness
+# contracts under the race detector: tables built through the fused
+# streaming path are bit-identical to per-point (DisableFusion) builds
+# on every d695 core plus the decay/compressible synthetics at windows
+# 1/64/∞ × workers 1/8 (including multi-batch schedules), the mid-pass
+# LB/UB pruning drops candidates without changing the table, every
+# fused and pruning counter is worker-count invariant, the steady-state
+# fused window kernel runs at 0 allocs/op, and the selenc append-form
+# ops kernel the evaluator delegates to agrees with the real encoder's
+# slice cost.
+fused-equivalence:
+	$(GO) test -race -count=1 -timeout 600s -run 'TestFusedTableEquivalence|TestFusedMidPassPruning|TestFusedCountersWorkerInvariance|TestBuildTableBandBoundaries' ./internal/core
+	$(GO) test -count=1 -run 'TestFusedWindowKernelZeroAlloc|TestSliceOpsMaskAgreesWithCost' ./internal/core ./internal/selenc
 
 # robustness asserts the failure-model contracts under the race
 # detector with a tight timeout: the singleflight deadlock regression

@@ -9,8 +9,10 @@ package core
 import (
 	"context"
 	"os"
+	"reflect"
 	"runtime"
 	"testing"
+	"time"
 
 	"soctap/internal/soc"
 	"soctap/internal/telemetry"
@@ -174,6 +176,76 @@ func TestStreamingPeakMemoryGiant(t *testing.T) {
 		float64(resident)/float64(streamed))
 	if streamed <= 0 || resident < 10*streamed {
 		t.Errorf("streamed footprint %d B not >=10x below materialized %d B", streamed, resident)
+	}
+}
+
+// BenchmarkFusedGiantTable builds a giant-family core's lookup table
+// through the streamed fused sweep and once (untimed) with fusion
+// disabled, asserting the two tables deeply equal and reporting how the
+// fused pass amortizes source traversal:
+//
+//   - window-load-amortization-x: unfused / fused eval.window_loads —
+//     the O(points×windows) → O(batches×windows) win (higher is
+//     better; benchjson treats the -x suffix directionally)
+//   - passes-per-point: eval.passes / eval.fused_points — the fraction
+//     of a full source pass each (w, m) point costs under fusion
+//     (1.0 would mean no fusion at all; informational)
+//
+// Short mode substitutes a scaled-down member of the same family so the
+// bench doubles as a tripwire in `make check`.
+func BenchmarkFusedGiantTable(b *testing.B) {
+	cores, patterns, scale := 8, 0, 0.4
+	if testing.Short() {
+		cores, patterns, scale = 2, 400, 0.05
+	}
+	s := giantSOC(b, cores, patterns, scale)
+	// Build the design's cheapest core: the amortization factor is
+	// load-count arithmetic, invariant to core size, so the probe keeps
+	// the unfused baseline tractable.
+	probe := s.Cores[0]
+	for _, c := range s.Cores[1:] {
+		if c.StimulusVolumeBits() < probe.StimulusVolumeBits() {
+			probe = c
+		}
+	}
+	opts := TableOptions{MaxWidth: 12, BandSamples: 4, EvalWindow: DefaultEvalWindow}
+
+	unfused := opts
+	unfused.DisableFusion = true
+	telU := telemetry.New()
+	t0 := time.Now()
+	plain, err := buildTable(context.Background(), probe, unfused, telU)
+	unfusedSecs := time.Since(t0).Seconds()
+	if err != nil {
+		b.Fatal(err)
+	}
+	unfusedLoads := telU.Snapshot().Counters["eval.window_loads"]
+
+	var tbl *Table
+	var fusedLoads, passes, points int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		telF := telemetry.New()
+		tbl, err = buildTable(context.Background(), probe, opts, telF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sn := telF.Snapshot()
+		fusedLoads = sn.Counters["eval.window_loads"]
+		passes = sn.Counters["eval.passes"]
+		points = sn.Counters["eval.fused_points"]
+	}
+	b.StopTimer()
+	if !reflect.DeepEqual(tbl, plain) {
+		b.Fatal("fused giant table differs from unfused build")
+	}
+	if fusedLoads <= 0 || points <= 0 {
+		b.Fatalf("fused build recorded no pass telemetry: loads=%d points=%d", fusedLoads, points)
+	}
+	b.ReportMetric(float64(unfusedLoads)/float64(fusedLoads), "window-load-amortization-x")
+	b.ReportMetric(float64(passes)/float64(points), "passes-per-point")
+	if fusedSecs := b.Elapsed().Seconds() / float64(b.N); fusedSecs > 0 {
+		b.ReportMetric(unfusedSecs/fusedSecs, "table-build-speedup-x")
 	}
 }
 

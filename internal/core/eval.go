@@ -77,6 +77,34 @@ const (
 	autoStreamRawBits = int64(1) << 31
 )
 
+// evalWindow is the per-window state shared by every consumer of one
+// loaded cube window: the flattened care refs (cube.Window), the
+// window's position in the pass, the measured-density strategy choice,
+// and the dense path's m-independent flat planes. One producer
+// evaluator loads it; mirror evaluators (see mirror) price the same
+// window read-only through their own kernel scratch — the data-sharing
+// contract of the fused sweep (fused.go).
+type evalWindow struct {
+	cube.Window
+	start int // global index of the window's first cube
+	count int // cubes in the loaded window
+
+	// dense selects the plane-building strategy for this window's cubes
+	// (kernel.go): resident evaluators fix it once from the whole set's
+	// care density, streaming ones re-measure per window.
+	dense bool
+
+	// Dense path: per-cube flat planes in flat stimulus order. They
+	// depend only on the window's cubes — not on m — so every evaluation
+	// point sharing the window shares them. Resident mode builds them
+	// once for the whole set (flatBuilt); streaming mode rebuilds per
+	// window into recycled buffers.
+	flatWords int
+	flatBuilt bool
+	flatCare  []uint64 // [cube][flatWords]
+	flatValue []uint64
+}
+
 // Evaluator evaluates test configurations of one core. It is the hot
 // kernel of the (w, m) exploration: the core's test cubes are flattened
 // into a contiguous care-bit array (the whole set when resident, one
@@ -84,27 +112,26 @@ const (
 // its stimulus map) is kept so consecutive evaluations at the same m
 // share it, and the word-kernel plane scratch (kernel.go) is reused
 // across the whole sweep. An Evaluator is not safe for concurrent use;
-// parallel sweeps give each worker its own (see lookup.go).
+// parallel sweeps give each worker its own (see lookup.go) or a mirror
+// sharing a producer's loaded window (see fused.go).
 type Evaluator struct {
 	core *soc.Core
 	ts   *cube.Set   // resident mode: the materialized set (nil when streaming)
 	src  cube.Source // streaming mode: the replayable cube stream (nil when resident)
 
-	patterns int // total cubes per evaluation pass
-	numBits  int // stimulus bits per cube
-	window   int // cubes per streamed window; 0 in resident mode
+	patterns int  // total cubes per evaluation pass
+	numBits  int  // stimulus bits per cube
+	window   int  // cubes per streamed window; 0 in resident mode
+	streamed bool // streaming-mode kernel layout (src != nil, or a mirror of such)
 
-	// careRef packs care bits flattened as careRef[i] = pos<<1 | value;
-	// cubeOff[j] is cube j's offset with a final sentinel. In resident
-	// mode they cover the whole set and j is a global cube index; in
-	// streaming mode they cover the loaded window and j is window-local.
-	careRef []uint64
-	cubeOff []int
+	// win is the loaded cube window the kernels price against: &ownWin
+	// for a self-loading evaluator, the producer's window for a mirror.
+	win    *evalWindow
+	ownWin evalWindow
 
-	// Pass/window cursor (see beginPass/nextWindow).
-	passPos  int // global index of the first cube of the next window
-	winStart int // global index of the loaded window's first cube
-	winCount int // cubes in the loaded window
+	// passPos is the global index of the first cube of the next window
+	// (see beginPass/nextWindow).
+	passPos int
 
 	kern kernelScratch // word-parallel slice kernel state
 
@@ -204,14 +231,34 @@ func NewEvaluatorWindow(c *soc.Core, window int) (*Evaluator, error) {
 	if window == EvalWindowAll || window > src.Len() {
 		window = src.Len()
 	}
-	return &Evaluator{
+	e := &Evaluator{
 		core:     c,
 		src:      src,
 		patterns: src.Len(),
 		numBits:  src.NumBits(),
 		window:   window,
-		cubeOff:  make([]int, 0, window+1),
-	}, nil
+		streamed: true,
+	}
+	e.win = &e.ownWin
+	e.ownWin.Off = make([]int, 0, window+1)
+	return e, nil
+}
+
+// mirror returns a co-evaluator sharing this evaluator's loaded window:
+// same core geometry and kernel layout, its own kernel scratch, no
+// source of its own. The fused sweep's workers price a producer's
+// windows through mirrors, so the cube stream is traversed exactly once
+// per pass no matter how many points (or workers) consume it. A mirror
+// must only be used between the producer's window loads.
+func (e *Evaluator) mirror() *Evaluator {
+	return &Evaluator{
+		core:     e.core,
+		patterns: e.patterns,
+		numBits:  e.numBits,
+		window:   e.window,
+		streamed: e.streamed,
+		win:      e.win,
+	}
 }
 
 // newResidentEvaluator materializes the core's test set (cached on the
@@ -227,26 +274,21 @@ func newResidentEvaluator(c *soc.Core) (*Evaluator, error) {
 		ts:       ts,
 		patterns: ts.Len(),
 		numBits:  c.StimulusBits(),
-		careRef:  make([]uint64, 0, ts.TotalCareBits()),
-		cubeOff:  make([]int, ts.Len()+1),
 	}
-	for j, cb := range ts.Cubes {
-		e.cubeOff[j] = len(e.careRef)
-		for _, bit := range cb.Care {
-			r := uint64(bit.Pos) << 1
-			if bit.Value {
-				r |= 1
-			}
-			e.careRef = append(e.careRef, r)
-		}
+	e.win = &e.ownWin
+	e.ownWin.Refs = make([]uint64, 0, ts.TotalCareBits())
+	e.ownWin.Off = make([]int, 0, ts.Len()+1)
+	for _, cb := range ts.Cubes {
+		e.ownWin.AppendCube(cb)
 	}
-	e.cubeOff[ts.Len()] = len(e.careRef)
+	e.ownWin.Seal()
+	e.ownWin.start, e.ownWin.count = 0, ts.Len()
 	// Pick the kernel's plane-building strategy from the measured care
 	// density of the test set (kernel.go). The streaming path defers
 	// this to each window's measured density instead.
 	if bits := int64(c.StimulusBits()) * int64(ts.Len()); bits > 0 {
 		density := float64(ts.TotalCareBits()) / float64(bits)
-		e.kern.dense = density >= denseDensityThreshold
+		e.ownWin.dense = density >= denseDensityThreshold
 	}
 	return e, nil
 }
@@ -272,7 +314,7 @@ func (e *Evaluator) nextWindow() bool {
 		return false
 	}
 	if e.src == nil {
-		e.winStart, e.winCount = 0, e.patterns
+		e.win.start, e.win.count = 0, e.patterns
 		e.passPos = e.patterns
 		e.noteWindow(e.patterns)
 		return true
@@ -282,27 +324,9 @@ func (e *Evaluator) nextWindow() bool {
 		t0 = time.Now()
 	}
 	n := min(e.window, e.patterns-e.passPos)
-	e.careRef = e.careRef[:0]
-	e.cubeOff = e.cubeOff[:0]
-	loaded := 0
-	for i := 0; i < n; i++ {
-		c, ok := e.src.Next()
-		if !ok {
-			break
-		}
-		e.cubeOff = append(e.cubeOff, len(e.careRef))
-		for _, bit := range c.Care {
-			r := uint64(bit.Pos) << 1
-			if bit.Value {
-				r |= 1
-			}
-			e.careRef = append(e.careRef, r)
-		}
-		loaded++
-	}
-	e.cubeOff = append(e.cubeOff, len(e.careRef))
-	e.winStart = e.passPos
-	e.winCount = loaded
+	loaded := e.win.Load(e.src, n)
+	e.win.start = e.passPos
+	e.win.count = loaded
 	e.passPos += loaded
 	if loaded == 0 {
 		// A source shorter than its Len violates the Source contract;
@@ -314,10 +338,10 @@ func (e *Evaluator) nextWindow() bool {
 	// density: a sweep over a decaying test set can use the transpose
 	// kernel for the dense head and the scatter kernel for the sparse
 	// tail of one pass.
-	density := float64(len(e.careRef)) / (float64(e.numBits) * float64(loaded))
-	e.kern.dense = density >= denseDensityThreshold
-	if e.kern.dense {
-		e.buildWindowFlatPlanes()
+	density := float64(e.win.CareBits()) / (float64(e.numBits) * float64(loaded))
+	e.win.dense = density >= denseDensityThreshold
+	if e.win.dense {
+		e.win.buildFlatPlanes(e.numBits)
 	}
 	if e.windowHist != nil {
 		e.windowHist.Observe(time.Since(t0))
@@ -430,7 +454,7 @@ func (e *Evaluator) PatternBits(m int) ([]int64, error) {
 	j := 0
 	e.beginPass()
 	for e.nextWindow() {
-		for lj := 0; lj < e.winCount; lj++ {
+		for lj := 0; lj < e.win.count; lj++ {
 			out[j] = (si + e.patternOps(lj, k, true)) * w
 			j++
 		}
@@ -455,7 +479,7 @@ func (e *Evaluator) tdcCost(d *wrapper.Design, groupCopy bool) (time, volume int
 	j := 0
 	e.beginPass()
 	for e.nextWindow() {
-		for lj := 0; lj < e.winCount; lj++ {
+		for lj := 0; lj < e.win.count; lj++ {
 			// One header per slice (including fully-X slices) plus the
 			// encoding operations.
 			cw := si + e.patternOps(lj, k, groupCopy)

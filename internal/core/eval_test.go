@@ -200,7 +200,7 @@ func TestKernelPathsAgree(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				ev.kern.dense = dense
+				ev.win.dense = dense
 				for gi, gc := range []bool{true, false} {
 					cfg, err := ev.TDC(m, gc)
 					if err != nil {
@@ -227,7 +227,7 @@ func TestKernelSteadyStateZeroAlloc(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ev.kern.dense = dense
+		ev.win.dense = dense
 		d, err := ev.Design(9)
 		if err != nil {
 			t.Fatal(err)

@@ -23,9 +23,8 @@
 package core
 
 import (
-	"math/bits"
-
 	"soctap/internal/bitvec"
+	"soctap/internal/selenc"
 	"soctap/internal/wrapper"
 )
 
@@ -36,9 +35,12 @@ import (
 const denseDensityThreshold = 0.15
 
 // kernelScratch holds the word-kernel state of one Evaluator. All
-// buffers grow to high-water marks and are reused across designs.
+// buffers grow to high-water marks and are reused across designs. The
+// per-window data both kernels read — the flattened care refs and the
+// dense path's m-independent flat planes — lives on the evaluator's
+// evalWindow (eval.go) so mirrors can share a producer's window while
+// owning their own scratch.
 type kernelScratch struct {
-	dense    bool
 	prepared *wrapper.Design // design the geometry below belongs to
 
 	// Geometry of the prepared design.
@@ -48,18 +50,15 @@ type kernelScratch struct {
 
 	// Sparse path: stimulus map plus dirty-row bookkeeping. The slice
 	// planes are all-zero between patterns; scatters dirty rows, the
-	// walk prices them, and the clear pass restores the invariant.
+	// walk prices them, and the clear pass restores the invariant. In
+	// streaming mode refs resolves lazily on first sparse use, so
+	// dense-only passes never build (or retain) a stimulus map.
 	refs  []wrapper.CellRef
 	dirty []int32
 	mark  []bool
 
-	// Dense path: per-cube flat planes (flat stimulus order, built once
-	// per evaluator) and the chain-major intermediate.
+	// Dense path: the chain-major intermediate planes.
 	segs       []wrapper.StimulusSegment
-	flatWords  int
-	flatBuilt  bool
-	flatCare   []uint64 // [cube][flatWords]
-	flatValue  []uint64
 	chainCare  []uint64 // [chainWords*64 rows][siWords]
 	chainValue []uint64
 
@@ -89,14 +88,14 @@ func (e *Evaluator) kernelPrepare(d *wrapper.Design) {
 	ks.chainWords = (d.M + 63) / 64
 	ks.siWords = (d.ScanIn + 63) / 64
 
-	if e.src != nil {
+	if e.streamed {
 		e.kernelPrepareStreaming(d)
 		return
 	}
 
-	if ks.dense {
+	if e.win.dense {
 		ks.segs = d.StimulusSegments()
-		e.buildFlatPlanes()
+		e.win.buildFlatPlanesOnce(e.numBits)
 		chainNeed := ks.chainWords * 64 * ks.siWords
 		if cap(ks.chainCare) < chainNeed {
 			ks.chainCare = make([]uint64, chainNeed)
@@ -139,11 +138,15 @@ func (e *Evaluator) kernelPrepare(d *wrapper.Design) {
 // path's scatter state are targeted at the design, with the slice
 // planes at the dense (padded) size — a superset of the sparse layout,
 // so either kernel can run against them. Per-cube flat planes are not
-// built here; each dense window builds its own (buildWindowFlatPlanes).
+// built here; each dense window builds its own (buildFlatPlanes on the
+// shared window). The stimulus map is deferred to the first sparse
+// window (patternOpsSparse): a fused batch holds many designs alive at
+// once, and a map per design is only worth its O(stimulus bits) memory
+// when a sparse window actually scatters through it.
 func (e *Evaluator) kernelPrepareStreaming(d *wrapper.Design) {
 	ks := &e.kern
 	ks.segs = d.StimulusSegments()
-	ks.refs = d.StimulusMap()
+	ks.refs = nil
 
 	chainNeed := ks.chainWords * 64 * ks.siWords
 	if cap(ks.chainCare) < chainNeed {
@@ -169,54 +172,52 @@ func (e *Evaluator) kernelPrepareStreaming(d *wrapper.Design) {
 	ks.mark = ks.mark[:ks.si]
 }
 
-// buildFlatPlanes materializes every cube as dense care/value planes in
-// flat stimulus order. Resident mode only, built once per evaluator:
+// buildFlatPlanesOnce materializes every cube of a resident window as
+// dense care/value planes in flat stimulus order, once per evaluator:
 // the flat layout does not depend on m, so the whole (w,m) sweep shares
 // them. This whole-set allocation is exactly what the streaming path
-// avoids — see buildWindowFlatPlanes.
-func (e *Evaluator) buildFlatPlanes() {
-	ks := &e.kern
-	if ks.flatBuilt {
+// avoids — see buildFlatPlanes.
+func (w *evalWindow) buildFlatPlanesOnce(numBits int) {
+	if w.flatBuilt {
 		return
 	}
-	ks.flatWords = (e.numBits + 63) / 64
-	n := e.patterns * ks.flatWords
-	ks.flatCare = make([]uint64, n)
-	ks.flatValue = make([]uint64, n)
-	scatterFlat(ks, e.careRef, e.cubeOff, e.patterns)
-	ks.flatBuilt = true
+	w.flatWords = (numBits + 63) / 64
+	n := w.count * w.flatWords
+	w.flatCare = make([]uint64, n)
+	w.flatValue = make([]uint64, n)
+	w.scatterFlat()
+	w.flatBuilt = true
 }
 
-// buildWindowFlatPlanes materializes the loaded cube window as flat
+// buildFlatPlanes materializes the loaded cube window as flat
 // care/value planes, recycling the buffers across windows — the
-// streaming counterpart of buildFlatPlanes, bounded at window ×
+// streaming counterpart of buildFlatPlanesOnce, bounded at window ×
 // flatWords words instead of testset × flatWords.
-func (e *Evaluator) buildWindowFlatPlanes() {
-	ks := &e.kern
-	ks.flatWords = (e.numBits + 63) / 64
-	n := e.winCount * ks.flatWords
-	if cap(ks.flatCare) < n {
-		ks.flatCare = make([]uint64, n)
-		ks.flatValue = make([]uint64, n)
+func (w *evalWindow) buildFlatPlanes(numBits int) {
+	w.flatWords = (numBits + 63) / 64
+	n := w.count * w.flatWords
+	if cap(w.flatCare) < n {
+		w.flatCare = make([]uint64, n)
+		w.flatValue = make([]uint64, n)
 	} else {
-		ks.flatCare = ks.flatCare[:n]
-		ks.flatValue = ks.flatValue[:n]
-		clear(ks.flatCare)
-		clear(ks.flatValue)
+		w.flatCare = w.flatCare[:n]
+		w.flatValue = w.flatValue[:n]
+		clear(w.flatCare)
+		clear(w.flatValue)
 	}
-	scatterFlat(ks, e.careRef, e.cubeOff, e.winCount)
+	w.scatterFlat()
 }
 
-// scatterFlat fills the flat planes for cubes [0, n) of the care array.
-func scatterFlat(ks *kernelScratch, careRef []uint64, cubeOff []int, n int) {
-	for j := 0; j < n; j++ {
-		base := j * ks.flatWords
-		for _, p := range careRef[cubeOff[j]:cubeOff[j+1]] {
+// scatterFlat fills the flat planes from the window's packed care refs.
+func (w *evalWindow) scatterFlat() {
+	for j := 0; j < w.count; j++ {
+		base := j * w.flatWords
+		for _, p := range w.CubeRefs(j) {
 			pos := int(p >> 1)
 			bit := uint64(1) << uint(pos&63)
-			ks.flatCare[base+pos>>6] |= bit
+			w.flatCare[base+pos>>6] |= bit
 			if p&1 != 0 {
-				ks.flatValue[base+pos>>6] |= bit
+				w.flatValue[base+pos>>6] |= bit
 			}
 		}
 	}
@@ -225,7 +226,7 @@ func scatterFlat(ks *kernelScratch, careRef []uint64, cubeOff []int, n int) {
 // patternOps returns the selective-encoding operation count (codewords
 // beyond the per-slice headers) for cube j under the prepared design.
 func (e *Evaluator) patternOps(j int, k int64, groupCopy bool) int64 {
-	if e.kern.dense {
+	if e.win.dense {
 		return e.patternOpsDense(j, k, groupCopy)
 	}
 	return e.patternOpsSparse(j, k, groupCopy)
@@ -236,14 +237,15 @@ func (e *Evaluator) patternOps(j int, k int64, groupCopy bool) int64 {
 // 64×64 block transpose into the slice-major planes.
 func (e *Evaluator) patternOpsDense(j int, k int64, groupCopy bool) int64 {
 	ks := &e.kern
+	win := e.win
 	cw, siW := ks.chainWords, ks.siWords
 	ks.sliceZeroed = false
 
 	clear(ks.chainCare)
 	clear(ks.chainValue)
-	fb := j * ks.flatWords
-	fCare := ks.flatCare[fb : fb+ks.flatWords]
-	fValue := ks.flatValue[fb : fb+ks.flatWords]
+	fb := j * win.flatWords
+	fCare := win.flatCare[fb : fb+win.flatWords]
+	fValue := win.flatValue[fb : fb+win.flatWords]
 	for _, s := range ks.segs {
 		dstOff := s.Chain*siW*64 + s.DepthStart
 		bitvec.CopyBits(ks.chainCare, dstOff, fCare, s.FlatStart, s.Len)
@@ -287,6 +289,13 @@ func (e *Evaluator) patternOpsDense(j int, k int64, groupCopy bool) int64 {
 func (e *Evaluator) patternOpsSparse(j int, k int64, groupCopy bool) int64 {
 	ks := &e.kern
 	cw := ks.chainWords
+	if ks.refs == nil {
+		// Deferred from kernelPrepareStreaming: the design's stimulus
+		// map is only materialized once a sparse window needs it (it is
+		// sync.Once-cached on the design, so this is allocation-free
+		// after the first sparse window per design).
+		ks.refs = ks.prepared.StimulusMap()
+	}
 	if !ks.sliceZeroed {
 		// A dense window (or a fresh re-slice over its leavings) broke
 		// the all-zero invariant; restore it across the full capacity so
@@ -296,7 +305,7 @@ func (e *Evaluator) patternOpsSparse(j int, k int64, groupCopy bool) int64 {
 		ks.sliceZeroed = true
 	}
 	dirty := ks.dirty[:0]
-	for _, p := range e.careRef[e.cubeOff[j]:e.cubeOff[j+1]] {
+	for _, p := range e.win.CubeRefs(j) {
 		r := ks.refs[p>>1]
 		row := int(r.Depth)
 		if !ks.mark[row] {
@@ -325,49 +334,10 @@ func (e *Evaluator) patternOpsSparse(j int, k int64, groupCopy bool) int64 {
 	return ops
 }
 
-// rowOps prices one slice row held as care/value word masks: per group
-// with t target bits, min(t, 2) codewords (or t when group-copy mode is
-// off). Targets are the care bits differing from the row's majority
-// fill. This is the mask-plane form of the legacy sorted-key sliceOps
-// and agrees with selenc.SliceCostMask minus the header.
+// rowOps prices one slice row held as care/value word masks. The
+// costing itself lives with the encoder it models — see
+// selenc.SliceOpsMask, which agrees with selenc.SliceCostMask minus
+// the header codeword.
 func rowOps(care, value []uint64, k int64, groupCopy bool) int64 {
-	careCount, ones := 0, 0
-	for i, c := range care {
-		careCount += bits.OnesCount64(c)
-		ones += bits.OnesCount64(value[i] & c)
-	}
-	if careCount == 0 {
-		return 0
-	}
-	var fillMask uint64
-	if ones*2 > careCount {
-		fillMask = ^uint64(0)
-	}
-	if !groupCopy {
-		// Without group copy every target bit is one single-bit
-		// codeword: a pure popcount.
-		var ops int64
-		for i, c := range care {
-			ops += int64(bits.OnesCount64(c & (value[i] ^ fillMask)))
-		}
-		return ops
-	}
-	var ops int64
-	group := int64(-1)
-	inGroup := 0
-	for wi, c := range care {
-		t := c & (value[wi] ^ fillMask)
-		base := wi << 6
-		for t != 0 {
-			g := int64(base+bits.TrailingZeros64(t)) / k
-			t &= t - 1
-			if g != group {
-				ops += flushGroup(inGroup, true)
-				group = g
-				inGroup = 0
-			}
-			inGroup++
-		}
-	}
-	return ops + flushGroup(inGroup, true)
+	return selenc.SliceOpsMask(k, groupCopy, care, value)
 }

@@ -46,6 +46,14 @@ type TableOptions struct {
 	// EvalWindow only moves peak memory and — like Workers — is erased
 	// from cache keys and from the options recorded on the table.
 	EvalWindow int
+	// DisableFusion turns off the fused single-pass (w, m) sweep on the
+	// streaming path, falling back to one full source pass per
+	// evaluation point (resident builds never fuse — the set is already
+	// in memory). Fusion is exact: fused and unfused tables are
+	// bit-identical (the fused-equivalence gate), so the knob exists for
+	// verification and benchmarking and — like Workers — is erased from
+	// cache keys and from the options recorded on the table.
+	DisableFusion bool
 }
 
 func (o TableOptions) withDefaults() TableOptions {
@@ -66,6 +74,7 @@ func (o TableOptions) normalized() TableOptions {
 	o.Workers = 0
 	o.DisablePruning = false
 	o.EvalWindow = 0
+	o.DisableFusion = false
 	return o
 }
 
@@ -284,16 +293,11 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 	maxM := c.MaxWrapperChains()
 
 	// Collect the TDC evaluation points: each codeword-width band is one
-	// task that sweeps its sampled m values sequentially, highest m
-	// first, pruning candidates whose lower bound is strictly worse than
-	// the band incumbent (see sweepBand). One task per band keeps both
-	// the winner and the prune counters deterministic for any worker
-	// count.
-	type bandJob struct {
-		w    int
-		ms   []int
-		best Config
-	}
+	// unit that sweeps its sampled m values highest first, pruning
+	// candidates whose lower bound is strictly worse than the band
+	// incumbent (see sweepBand and sweepBandsFused). Band-granular
+	// incumbents keep both the winner and the prune counters
+	// deterministic for any worker count.
 	var bands []bandJob
 	for w := 3; w <= opts.MaxWidth; w++ {
 		lo, hi, err := selenc.MBand(w)
@@ -331,7 +335,17 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 		}
 		return fmt.Sprintf("tdc band w=%d", bands[i-directM].w)
 	}
-	err := forEachEval(ctx, c, opts.Workers, opts.EvalWindow, directM+len(bands), tel, point, func(ev *Evaluator, i int) error {
+	// On the streaming path the banded sweep fuses: every loaded window
+	// is priced against all active (w, m) points before the next loads,
+	// so the source is traversed once per batch instead of once per
+	// point. The no-TDC side is closed-form (no cube pass) and stays on
+	// the plain worker pool either way.
+	fused := streamingEval(c, opts.EvalWindow) && !opts.DisableFusion
+	n := directM + len(bands)
+	if fused {
+		n = directM
+	}
+	err := forEachEval(ctx, c, opts.Workers, opts.EvalWindow, n, tel, point, func(ev *Evaluator, i int) error {
 		if i < directM {
 			cfg, err := ev.NoTDC(i + 1)
 			if err != nil {
@@ -348,6 +362,9 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 		b.best = best
 		return nil
 	})
+	if err == nil && fused && len(bands) > 0 {
+		err = sweepBandsFused(ctx, c, opts, bands, pc, tel)
+	}
 	if err != nil {
 		if canceled(err) {
 			tel.Counter("cancel.table_builds").Inc()
@@ -389,6 +406,14 @@ func buildTable(ctx context.Context, c *soc.Core, opts TableOptions, tel *teleme
 	// the distribution is wall clock.
 	tel.Histogram("tables.build_seconds").Observe(time.Since(buildStart))
 	return t, nil
+}
+
+// bandJob is one codeword-width band of the TDC sweep: the sampled m
+// values and, once swept, the band's winning configuration.
+type bandJob struct {
+	w    int
+	ms   []int
+	best Config
 }
 
 // pruneCounters carries the (nil-safe) telemetry counters of the band

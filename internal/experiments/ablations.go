@@ -58,14 +58,14 @@ func Ablations() (*AblationResult, error) {
 	// 2. Within-band best-m exploration vs band maximum.
 	full, err := core.OptimizeContext(expContext(), sys1, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 48},
+		Tables: engineTables(core.TableOptions{MaxWidth: 32, BandSamples: 48}),
 	})
 	if err != nil {
 		return nil, err
 	}
 	bandMax, err := core.OptimizeContext(expContext(), sys1, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-		Tables: core.TableOptions{MaxWidth: 32, BandSamples: 1},
+		Tables: engineTables(core.TableOptions{MaxWidth: 32, BandSamples: 1}),
 	})
 	if err != nil {
 		return nil, err
@@ -79,14 +79,14 @@ func Ablations() (*AblationResult, error) {
 	// 3. TAM-partition refinement vs even splits (prime budget).
 	refined, err := core.OptimizeContext(expContext(), sys1, 37, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-		Tables: core.TableOptions{MaxWidth: 37},
+		Tables: engineTables(core.TableOptions{MaxWidth: 37}),
 	})
 	if err != nil {
 		return nil, err
 	}
 	even, err := core.OptimizeContext(expContext(), sys1, 37, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-		Tables: core.TableOptions{MaxWidth: 37}, DisableRefinement: true,
+		Tables: engineTables(core.TableOptions{MaxWidth: 37}), DisableRefinement: true,
 	})
 	if err != nil {
 		return nil, err
@@ -104,14 +104,14 @@ func Ablations() (*AblationResult, error) {
 	}
 	lpt, err := core.OptimizeContext(expContext(), sys2, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-		Tables: core.TableOptions{MaxWidth: tableWidth},
+		Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 	})
 	if err != nil {
 		return nil, err
 	}
 	naive, err := core.OptimizeContext(expContext(), sys2, 32, core.Options{
 		Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-		Tables: core.TableOptions{MaxWidth: tableWidth}, NaiveOrder: true,
+		Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}), NaiveOrder: true,
 	})
 	if err != nil {
 		return nil, err
@@ -155,7 +155,7 @@ func Verify() (*VerifyResult, error) {
 		}
 		res, err := core.OptimizeContext(expContext(), s, 32, core.Options{
 			Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-			Tables: core.TableOptions{MaxWidth: tableWidth},
+			Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 		})
 		if err != nil {
 			return nil, err

@@ -35,6 +35,27 @@ var engineWorkers int
 // here.
 func SetWorkers(n int) { engineWorkers = n }
 
+// engineEvalWindow selects the evaluator residency mode of every
+// experiment's table builds (see core.TableOptions.EvalWindow); 0 (the
+// default) picks automatically by core size. Results are bit-identical
+// for every setting.
+var engineEvalWindow int
+
+// SetEvalWindow selects the evaluator streaming window of subsequent
+// experiment runs (0 = automatic by core size, > 0 = stream in windows
+// of that many cubes, -1 = whole set as one window). Call it before
+// launching experiments; cmd/repro wires its -eval-window flag here.
+func SetEvalWindow(window int) { engineEvalWindow = window }
+
+// engineTables stamps the process-wide engine knobs onto an
+// experiment's TableOptions literal, so every table build in the
+// package honours SetEvalWindow without threading it through each
+// call site.
+func engineTables(o core.TableOptions) core.TableOptions {
+	o.EvalWindow = engineEvalWindow
+	return o
+}
+
 // SetTableCacheDir layers a persistent on-disk store under the shared
 // table cache: tables built by any experiment are written there and
 // reloaded on later runs, so a warm directory reduces the regeneration

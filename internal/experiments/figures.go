@@ -98,7 +98,7 @@ func Fig3() (*Fig3Result, error) {
 		return nil, err
 	}
 	tab, err := sharedCache.GetInstrumentedContext(expContext(), c,
-		core.TableOptions{MaxWidth: tableWidth, Workers: engineWorkers}, telSink)
+		engineTables(core.TableOptions{MaxWidth: tableWidth, Workers: engineWorkers}), telSink)
 	if err != nil {
 		return nil, err
 	}
@@ -164,7 +164,7 @@ func Fig4() (*Fig4Result, error) {
 	for i, style := range styleOrder {
 		res, err := core.OptimizeContext(expContext(), s, r.WTAM, core.Options{
 			Style:  style,
-			Tables: core.TableOptions{MaxWidth: tableWidth},
+			Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 			Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		})
 		if err != nil {

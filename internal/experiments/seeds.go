@@ -44,7 +44,7 @@ func Seeds() (*SeedsResult, error) {
 		// part of the key — each variant gets its own entries.
 		noTDC, err := core.OptimizeContext(expContext(), base, 32, core.Options{
 			Style:     core.StyleNoTDC,
-			Tables:    core.TableOptions{MaxWidth: 32},
+			Tables:    engineTables(core.TableOptions{MaxWidth: 32}),
 			Cache:     &sharedCache,
 			Workers:   engineWorkers,
 			Telemetry: telSpan,
@@ -54,7 +54,7 @@ func Seeds() (*SeedsResult, error) {
 		}
 		tdc, err := core.OptimizeContext(expContext(), base, 32, core.Options{
 			Style:     core.StyleTDCPerCore,
-			Tables:    core.TableOptions{MaxWidth: 32},
+			Tables:    engineTables(core.TableOptions{MaxWidth: 32}),
 			Cache:     &sharedCache,
 			Workers:   engineWorkers,
 			Telemetry: telSpan,

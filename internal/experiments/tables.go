@@ -37,7 +37,7 @@ func Tab1() (*Tab1Result, error) {
 		for _, wate := range []int{8, 16, 24, 32} {
 			ours, err := core.OptimizeContext(expContext(), design, wate, core.Options{
 				Style:  core.StyleTDCPerCore,
-				Tables: core.TableOptions{MaxWidth: tableWidth},
+				Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			})
 			if err != nil {
@@ -114,7 +114,7 @@ func Tab2() (*Tab2Result, error) {
 	for _, wtam := range []int{16, 24, 32, 40, 48, 56, 64} {
 		ours, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 			Style:  core.StyleTDCPerCore,
-			Tables: core.TableOptions{MaxWidth: tableWidth},
+			Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 			Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 		})
 		if err != nil {
@@ -217,7 +217,7 @@ func Tab3() (*Tab3Result, error) {
 		for _, wtam := range Tab3Widths {
 			noTDC, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style:  core.StyleNoTDC,
-				Tables: core.TableOptions{MaxWidth: tableWidth},
+				Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			})
 			if err != nil {
@@ -225,7 +225,7 @@ func Tab3() (*Tab3Result, error) {
 			}
 			tdc, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style:  core.StyleTDCPerCore,
-				Tables: core.TableOptions{MaxWidth: tableWidth},
+				Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 				Cache:  &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
 			})
 			if err != nil {

@@ -38,14 +38,14 @@ func TechSel() (*TechSelResult, error) {
 		for _, wtam := range []int{16, 32} {
 			plain, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-				Tables: core.TableOptions{MaxWidth: tableWidth},
+				Tables: engineTables(core.TableOptions{MaxWidth: tableWidth}),
 			})
 			if err != nil {
 				return nil, err
 			}
 			sel, err := core.OptimizeContext(expContext(), design, wtam, core.Options{
 				Style: core.StyleTDCPerCore, Cache: &sharedCache, Workers: engineWorkers, Telemetry: telSpan,
-				Tables:     core.TableOptions{MaxWidth: tableWidth},
+				Tables:     engineTables(core.TableOptions{MaxWidth: tableWidth}),
 				EnableDict: true, DictSizes: []int{64, 256},
 			})
 			if err != nil {

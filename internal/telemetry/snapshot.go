@@ -185,6 +185,71 @@ func (sn *Snapshot) pruningRates() []pruneRow {
 	return rows
 }
 
+// fusedRow is one line of the pass-amortization table: how many fused
+// passes one core's streaming sweep ran, how many (w, m) points they
+// carried, and how many window loads that cost.
+type fusedRow struct {
+	core   string
+	passes int64
+	points int64
+	loads  int64
+}
+
+// fusedAmortization extracts per-core fused-sweep effectiveness from
+// the `fused.<core>.passes` / `.points` / `.window_loads` counter
+// triples, plus an overall row when more than one core reported. Rows
+// sort by core name. points/pass is the fan-out each streamed window
+// was shared across — the factor by which fusion amortizes source
+// traversal versus one pass per point.
+func (sn *Snapshot) fusedAmortization() []fusedRow {
+	per := map[string]*fusedRow{}
+	for name, v := range sn.Counters {
+		rest, ok := strings.CutPrefix(name, "fused.")
+		if !ok {
+			continue
+		}
+		var core string
+		var field func(*fusedRow) *int64
+		switch {
+		case strings.HasSuffix(rest, ".passes"):
+			core = strings.TrimSuffix(rest, ".passes")
+			field = func(r *fusedRow) *int64 { return &r.passes }
+		case strings.HasSuffix(rest, ".points"):
+			core = strings.TrimSuffix(rest, ".points")
+			field = func(r *fusedRow) *int64 { return &r.points }
+		case strings.HasSuffix(rest, ".window_loads"):
+			core = strings.TrimSuffix(rest, ".window_loads")
+			field = func(r *fusedRow) *int64 { return &r.loads }
+		default:
+			continue
+		}
+		r := per[core]
+		if r == nil {
+			r = &fusedRow{core: core}
+			per[core] = r
+		}
+		*field(r) = v
+	}
+	if len(per) == 0 {
+		return nil
+	}
+	rows := make([]fusedRow, 0, len(per)+1)
+	for _, r := range per {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].core < rows[j].core })
+	if len(rows) > 1 {
+		all := fusedRow{core: "(all cores)"}
+		for _, r := range rows {
+			all.passes += r.passes
+			all.points += r.points
+			all.loads += r.loads
+		}
+		rows = append(rows, all)
+	}
+	return rows
+}
+
 // cacheRow is one line of the cache-tier table: hit/miss/eviction
 // traffic and resident bytes of one tier of the table cache.
 type cacheRow struct {
@@ -303,6 +368,22 @@ func (sn *Snapshot) Render(w io.Writer) error {
 		for _, r := range rows {
 			tab.Add(r.core, fmt.Sprint(r.pruned), fmt.Sprint(r.evals),
 				fmt.Sprintf("%.1f%%", r.rate*100))
+		}
+		if err := tab.Render(w); err != nil {
+			return err
+		}
+	}
+
+	if rows := sn.fusedAmortization(); len(rows) > 0 {
+		tab := report.NewTable("\nfused sweep (points sharing each streamed pass)",
+			"core", "passes", "points", "points/pass", "window loads")
+		for _, r := range rows {
+			perPass := "-"
+			if r.passes > 0 {
+				perPass = fmt.Sprintf("%.1f", float64(r.points)/float64(r.passes))
+			}
+			tab.Add(r.core, fmt.Sprint(r.passes), fmt.Sprint(r.points),
+				perPass, fmt.Sprint(r.loads))
 		}
 		if err := tab.Render(w); err != nil {
 			return err

@@ -357,6 +357,40 @@ func TestRenderPruningRates(t *testing.T) {
 	}
 }
 
+// TestRenderFusedAmortization: the snapshot text report surfaces the
+// fused-sweep pass amortization from the fused.<core>.* counter
+// triples — passes, points, the points/pass fan-out, and window loads —
+// with an aggregate row when several cores reported.
+func TestRenderFusedAmortization(t *testing.T) {
+	s := New()
+	s.Counter("fused.cktA.passes").Add(2)
+	s.Counter("fused.cktA.points").Add(90)
+	s.Counter("fused.cktA.window_loads").Add(128)
+	s.Counter("fused.cktB.passes").Add(1)
+	s.Counter("fused.cktB.points").Add(10)
+	s.Counter("fused.cktB.window_loads").Add(16)
+	s.Counter("eval.passes").Add(3) // must not produce a row
+	var buf bytes.Buffer
+	if err := s.Snapshot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fused sweep", "cktA", "45.0", "cktB", "10.0", "(all cores)", "33.3", "144"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered text missing %q:\n%s", want, out)
+		}
+	}
+
+	// No fused counters at all: no section.
+	var empty bytes.Buffer
+	if err := New().Snapshot().Render(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "fused sweep") {
+		t.Fatal("fused-sweep section rendered without fused counters")
+	}
+}
+
 // TestRenderCacheTiers: the snapshot text report summarizes the table
 // cache per tier — hit traffic, hit rate, evictions, resident bytes —
 // from the cache.* and diskcache.* counters, one row per tier that
