@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-short bench-smoke bench-json bench-big bench-big-smoke bench-compare telemetry-overhead kernel-equivalence fused-equivalence robustness cachefmt obs
+.PHONY: check vet build test race bench bench-short bench-smoke bench-json bench-big bench-big-smoke bench-compare telemetry-overhead kernel-equivalence fused-equivalence robustness cachefmt obs serve
 
 # check is the tier-1 gate: everything must pass before a change lands.
 # A PR that touches the kernels or the sweep should also refresh the
 # dated benchmark archive with `make bench-json` and note the numbers.
-check: vet build test race bench-smoke bench-big-smoke telemetry-overhead kernel-equivalence fused-equivalence robustness cachefmt obs
+check: vet build test race bench-smoke bench-big-smoke telemetry-overhead kernel-equivalence fused-equivalence robustness cachefmt obs serve
 
 vet:
 	$(GO) vet ./...
@@ -46,7 +46,8 @@ bench-smoke:
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkFig2CktSweep$$|BenchmarkTab3WithWithoutTDC$$|BenchmarkOptimizeSearch$$' -benchtime 1x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkGreedySchedule$$' -benchtime 1x -benchmem ./internal/sched ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkDiskLoadV1VsV2|BenchmarkCacheGetParallel' -benchmem ./internal/core ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkDiskLoadV1VsV2|BenchmarkCacheGetParallel' -benchmem ./internal/core ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkServeOptimizeWarm$$' -benchmem ./internal/serve ; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_$$(date +%Y-%m-%d).json
 	@echo wrote BENCH_$$(date +%Y-%m-%d).json
 
@@ -142,6 +143,19 @@ obs:
 	$(GO) test -count=1 -run 'TestHistogramEnabledZeroAlloc|TestNilFastPathAllocs|TestBusNoSubscribersIsFree' ./internal/telemetry
 	$(GO) test -race -count=1 -timeout 600s -run 'TestHistogramCountInvariance' ./internal/core
 	$(GO) test -count=1 ./cmd/benchjson
+
+# serve asserts the optimization-service contracts under the race
+# detector: the end-to-end socserve suite (job queue admission bounds,
+# per-request deadline cancellation mid-build, per-tenant rate
+# limiting, singleflight table sharing across concurrent identical
+# designs, NDJSON progress streaming, graceful drain with no goroutine
+# leaks) plus the HTTP/cache hardening regressions this plane stands on
+# (non-Flusher event streaming, slowloris header reaping, write-timeout
+# exemption for streams, disk-cache touch-error accounting).
+serve:
+	$(GO) test -race -count=1 -timeout 300s ./internal/serve ./cmd/socserve
+	$(GO) test -race -count=1 -timeout 120s -run 'TestEventsNonFlusherWriter|TestStalledHeaderReadReaped|TestEventsStreamSurvivesWriteTimeout' ./internal/telemetry
+	$(GO) test -count=1 -run 'TestDiskStoreTouchErrorCounted' ./internal/core
 
 # bench-compare diffs the two most recent dated benchmark archives
 # (BENCH_*.json at the repository root), failing on any directional

@@ -337,7 +337,7 @@ func (ds *diskStore) load(key string, c *soc.Core, opts TableOptions, tel *telem
 				}
 			}
 		} else {
-			ds.touch(key)
+			ds.touch(key, tel)
 		}
 	case diskMiss:
 		tel.Counter("diskcache.misses").Inc()
@@ -373,11 +373,20 @@ func (ds *diskStore) store(key string, t *Table, tel *telemetry.Sink) error {
 	return nil
 }
 
-// touch re-stamps the entry's access time (file mtime + index).
-func (ds *diskStore) touch(key string) {
+// touch re-stamps the entry's access time. The on-disk stamp (file
+// mtime, the atime proxy that survives restarts) can fail — read-only
+// remount, permissions, a concurrently evicted file — and on a cache
+// dir where it always fails the persistent LRU would silently decay
+// toward FIFO. The failure is therefore counted (diskcache.touch_errors)
+// rather than swallowed, and the in-memory index stays authoritative
+// for this process either way: eviction ordering reads index atimes,
+// which are updated regardless of whether the disk stamp landed.
+func (ds *diskStore) touch(key string, tel *telemetry.Sink) {
 	now := time.Now()
 	path := diskPath(ds.dir, key)
-	os.Chtimes(path, now, now) // best-effort
+	if err := os.Chtimes(path, now, now); err != nil {
+		tel.Counter("diskcache.touch_errors").Inc()
+	}
 	ds.mu.Lock()
 	if ds.scanned {
 		if e, ok := ds.entries[key]; ok {

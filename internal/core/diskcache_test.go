@@ -283,3 +283,77 @@ func TestOptimizeTableCacheDir(t *testing.T) {
 		t.Errorf("warm partition %v differs from cold %v", warm.Partition, cold.Partition)
 	}
 }
+
+// TestDiskStoreTouchErrorCounted: when the mtime-as-atime stamp fails
+// (read-only or remounted cache dir, a concurrently removed entry), the
+// failure is counted as diskcache.touch_errors instead of swallowed,
+// and the in-memory index atime stays authoritative — a touched entry
+// keeps its LRU recency even though the disk stamp never landed.
+func TestDiskStoreTouchErrorCounted(t *testing.T) {
+	dir := t.TempDir()
+	opts := TableOptions{MaxWidth: 8}
+	sink := telemetry.New()
+
+	build := func(seed int64) (string, *Table) {
+		c := compressibleCore(seed)
+		tab, err := BuildTable(c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return contentKey(c, opts.normalized()), tab
+	}
+	keyA, tabA := build(61)
+	keyB, tabB := build(62)
+	keyC, tabC := build(63)
+	entrySize := int64(len(encodeTableV2(keyA, tabA)))
+
+	// Cap sized for two entries, so storing a third evicts the
+	// oldest-access one.
+	ds := newDiskStore(dir, 2*entrySize+entrySize/2)
+	for _, e := range []struct {
+		key string
+		tab *Table
+	}{{keyA, tabA}, {keyB, tabB}} {
+		if err := ds.store(e.key, e.tab, sink); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A healthy touch counts nothing.
+	ds.touch(keyA, sink)
+	if n := sink.Snapshot().Counters["diskcache.touch_errors"]; n != 0 {
+		t.Fatalf("healthy touch counted %d errors", n)
+	}
+
+	// Remove A's file out from under the store: the next Chtimes stamp
+	// fails exactly the way a read-only remount makes every stamp fail.
+	if err := os.Remove(diskPath(dir, keyA)); err != nil {
+		t.Fatal(err)
+	}
+	ds.mu.Lock()
+	before := ds.entries[keyA].atime
+	ds.mu.Unlock()
+	ds.touch(keyA, sink)
+	if n := sink.Snapshot().Counters["diskcache.touch_errors"]; n != 1 {
+		t.Fatalf("diskcache.touch_errors = %d after a failed stamp, want 1", n)
+	}
+	ds.mu.Lock()
+	after := ds.entries[keyA].atime
+	ds.mu.Unlock()
+	if !after.After(before) {
+		t.Fatal("index atime not advanced when the disk stamp failed")
+	}
+
+	// The failed stamp must not demote A: storing C past the budget
+	// evicts B (the genuinely least recently used entry), not A.
+	if err := ds.store(keyC, tabC, sink); err != nil {
+		t.Fatal(err)
+	}
+	ds.mu.Lock()
+	_, hasA := ds.entries[keyA]
+	_, hasB := ds.entries[keyB]
+	ds.mu.Unlock()
+	if !hasA || hasB {
+		t.Fatalf("eviction ignored the in-memory atime: A present=%v B present=%v, want A kept, B evicted", hasA, hasB)
+	}
+}

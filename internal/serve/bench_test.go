@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkServeOptimizeWarm measures end-to-end request throughput on
+// the warm path — tables cached, so each request pays HTTP + parse +
+// search + JSON, not table building. This is the steady state a
+// long-lived daemon serves from; req/s lands in the dated benchmark
+// archive via make bench-json.
+func BenchmarkServeOptimizeWarm(b *testing.B) {
+	s := New(Config{MaxJobs: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do := func() error {
+		resp, err := http.Post(ts.URL+"/v1/optimize?width=16", "text/plain", strings.NewReader(tinyDesign))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := do(); err != nil { // warm the shared table cache
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := do(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+
+	if built := s.Sink().Snapshot().Counters["tables.built"]; built != tinyCores {
+		b.Fatalf("tables.built = %d across %d warm requests, want %d", built, b.N+1, tinyCores)
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+// The per-client rate limiter: classic token buckets, one per client
+// key, refilled continuously at rate tokens/second up to burst. One
+// request costs one token. The map is bounded — past maxBuckets, full
+// (i.e. long-idle) buckets are swept on the next admission — so an
+// attacker cycling spoofed API keys grows memory to a constant, not
+// without bound.
+
+import (
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the client map; a sweep runs when an insert would
+// exceed it.
+const maxBuckets = 4096
+
+// limiter is the token-bucket table. A nil limiter (rate 0) admits
+// everything.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // injected clock for tests
+}
+
+// bucket is one client's token state at time last.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter builds a limiter admitting rate requests/second with the
+// given burst capacity per client; nil (admit-all) when rate <= 0.
+func newLimiter(rate, burst float64) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports false plus how long until a token accrues (the Retry-After
+// hint).
+func (l *limiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, found := l.buckets[key]
+	if !found {
+		if len(l.buckets) >= maxBuckets {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// sweepLocked drops every bucket that has been idle long enough to
+// refill completely — indistinguishable from a fresh one, so dropping
+// it changes no admission decision.
+func (l *limiter) sweepLocked(now time.Time) {
+	idle := time.Duration(l.burst / l.rate * float64(time.Second))
+	for k, b := range l.buckets {
+		if now.Sub(b.last) >= idle {
+			delete(l.buckets, k)
+		}
+	}
+}

@@ -184,9 +184,10 @@ func NewHandler(s *Sink) http.Handler {
 	return mux
 }
 
-// parseKinds maps the ?kinds= query ("span,counter,gauge,run", empty =
-// all) onto an EventMask.
-func parseKinds(q string) (EventMask, error) {
+// ParseKinds maps a comma-separated event-kind list ("span,counter,
+// gauge,run", empty = all) onto an EventMask — the grammar of the
+// ?kinds= query on /events and of every other NDJSON event stream.
+func ParseKinds(q string) (EventMask, error) {
 	if q == "" {
 		return MaskAll, nil
 	}
@@ -211,8 +212,17 @@ func parseKinds(q string) (EventMask, error) {
 // serveEvents streams bus events as NDJSON until the client disconnects
 // or the server shuts down. The subscription is bounded: a client that
 // stops reading loses events (counted), never stalls the publishers.
+//
+// Flushing goes through http.ResponseController, which sees through
+// middleware wrappers that implement Unwrap. A ResponseWriter with no
+// Flusher anywhere in its chain (e.g. a bare status-recording wrapper)
+// degrades to unflushed streaming — lines reach the client when the
+// server's buffer fills or the handler returns — instead of panicking
+// on a nil interface. The write deadline is also cleared per-request,
+// so a server-wide WriteTimeout (sane for scrapes) never reaps this
+// deliberately endless response.
 func serveEvents(s *Sink, w http.ResponseWriter, r *http.Request) {
-	mask, err := parseKinds(r.URL.Query().Get("kinds"))
+	mask, err := ParseKinds(r.URL.Query().Get("kinds"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -227,10 +237,9 @@ func serveEvents(s *Sink, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
-	fl, _ := w.(http.Flusher)
-	if fl != nil {
-		fl.Flush() // commit headers so clients see the stream open
-	}
+	rc := http.NewResponseController(w)
+	rc.SetWriteDeadline(time.Time{}) // best-effort: not every writer has a deadline
+	canFlush := rc.Flush() == nil    // commit headers so clients see the stream open
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
 	for {
@@ -244,12 +253,28 @@ func serveEvents(s *Sink, w http.ResponseWriter, r *http.Request) {
 			if err := enc.Encode(ev); err != nil {
 				return
 			}
-			if fl != nil {
-				fl.Flush()
+			if canFlush {
+				if err := rc.Flush(); err != nil {
+					canFlush = false
+				}
 			}
 		}
 	}
 }
+
+// The exposition server's connection timeouts. A server with none set
+// lets one slowloris client — a connection that sends its header a byte
+// a minute, or never — pin a goroutine and a file descriptor forever.
+// ReadHeaderTimeout reaps stalled header reads, IdleTimeout reaps
+// keep-alive connections between requests, and WriteTimeout bounds
+// scrape responses; the deliberately endless /events stream opts back
+// out of the write bound per-request (see serveEvents). Variables, not
+// constants, so the reap test can shorten them.
+var (
+	serverReadHeaderTimeout = 10 * time.Second
+	serverWriteTimeout      = time.Minute
+	serverIdleTimeout       = 2 * time.Minute
+)
 
 // Server is a running observability endpoint (see StartServer).
 type Server struct {
@@ -270,7 +295,10 @@ func StartServer(addr string, s *Sink) (*Server, error) {
 	}
 	baseCtx, cancel := context.WithCancel(context.Background())
 	srv := &http.Server{
-		Handler: NewHandler(s),
+		Handler:           NewHandler(s),
+		ReadHeaderTimeout: serverReadHeaderTimeout,
+		WriteTimeout:      serverWriteTimeout,
+		IdleTimeout:       serverIdleTimeout,
 		BaseContext: func(net.Listener) context.Context {
 			// Request contexts derive from baseCtx, so Shutdown can end
 			// the otherwise-endless /events streams by cancelling it.

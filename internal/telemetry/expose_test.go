@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -279,16 +281,168 @@ func TestShutdownCancelsStreams(t *testing.T) {
 
 // TestParseKinds: the mask grammar of ?kinds=.
 func TestParseKinds(t *testing.T) {
-	if m, err := parseKinds(""); err != nil || m != MaskAll {
+	if m, err := ParseKinds(""); err != nil || m != MaskAll {
 		t.Fatalf("empty: %v %v", m, err)
 	}
-	if m, err := parseKinds("span"); err != nil || m != MaskSpan {
+	if m, err := ParseKinds("span"); err != nil || m != MaskSpan {
 		t.Fatalf("span: %v %v", m, err)
 	}
-	if m, err := parseKinds("run, gauge"); err != nil || m != MaskRun|MaskGauge {
+	if m, err := ParseKinds("run, gauge"); err != nil || m != MaskRun|MaskGauge {
 		t.Fatalf("run,gauge: %v %v", m, err)
 	}
-	if _, err := parseKinds("span,wat"); err == nil {
+	if _, err := ParseKinds("span,wat"); err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+}
+
+// nonFlusherWriter hides every optional ResponseWriter interface —
+// Flusher, deadline control, Unwrap — the way a minimal middleware
+// wrapper (a status recorder, a rate limiter's accounting shim) does.
+// It signals each body write so the test can sequence without racing
+// the handler goroutine.
+type nonFlusherWriter struct {
+	inner http.ResponseWriter
+	wrote chan struct{}
+}
+
+func (w *nonFlusherWriter) Header() http.Header  { return w.inner.Header() }
+func (w *nonFlusherWriter) WriteHeader(code int) { w.inner.WriteHeader(code) }
+func (w *nonFlusherWriter) Write(p []byte) (int, error) {
+	n, err := w.inner.Write(p)
+	select {
+	case w.wrote <- struct{}{}:
+	default:
+	}
+	return n, err
+}
+
+// TestEventsNonFlusherWriter: serveEvents behind a ResponseWriter with
+// no Flusher anywhere in its chain must not panic — it degrades to
+// unflushed streaming and still writes every event line. Regression
+// test for the nil-interface Flush crash a non-Flusher middleware
+// wrapper would have triggered.
+func TestEventsNonFlusherWriter(t *testing.T) {
+	s := New()
+	rec := httptest.NewRecorder()
+	w := &nonFlusherWriter{inner: rec, wrote: make(chan struct{}, 1)}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("GET", "/events?kinds=counter", nil).WithContext(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		serveEvents(s, w, req)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.bus.nsubs.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("serveEvents never subscribed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Counter("touches").Inc()
+	select {
+	case <-w.wrote:
+	case <-time.After(5 * time.Second):
+		t.Fatal("event line never written through the non-Flusher wrapper")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("serveEvents did not return on context cancel")
+	}
+
+	var ev Event
+	line := strings.TrimSpace(rec.Body.String())
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("body %q is not one event line: %v", line, err)
+	}
+	if ev.Kind != KindCounter || ev.Name != "touches" {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+}
+
+// TestStalledHeaderReadReaped: a connection that opens and never
+// finishes sending its request header must be closed by the server at
+// ReadHeaderTimeout, not pinned forever. Regression test for the
+// timeout-less http.Server StartServer used to build.
+func TestStalledHeaderReadReaped(t *testing.T) {
+	old := serverReadHeaderTimeout
+	serverReadHeaderTimeout = 200 * time.Millisecond
+	defer func() { serverReadHeaderTimeout = old }()
+
+	s := New()
+	srv := startTestServer(t, s)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A forever-incomplete header: request line sent, headers never
+	// finished. A slowloris client holds exactly this state.
+	if _, err := conn.Write([]byte("GET /metrics HTTP/1.1\r\nHost: x\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server closed (or reset) the stalled connection
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled header connection survived %v; want reap near the 200ms ReadHeaderTimeout", elapsed)
+	}
+}
+
+// TestEventsStreamSurvivesWriteTimeout: the server-wide WriteTimeout
+// must not reap a live /events stream — serveEvents clears the write
+// deadline per-request, so events published after the nominal deadline
+// still arrive.
+func TestEventsStreamSurvivesWriteTimeout(t *testing.T) {
+	oldW := serverWriteTimeout
+	serverWriteTimeout = 300 * time.Millisecond
+	defer func() { serverWriteTimeout = oldW }()
+
+	s := New()
+	srv := startTestServer(t, s)
+
+	resp, err := http.Get("http://" + srv.Addr() + "/events?kinds=counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Outlive the WriteTimeout, then publish: the line must still come
+	// through on the (deadline-cleared) stream.
+	time.Sleep(2 * serverWriteTimeout)
+	s.Counter("late").Inc()
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		if sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	select {
+	case line, ok := <-lines:
+		if !ok {
+			t.Fatal("stream closed by WriteTimeout before delivering the event")
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		if ev.Name != "late" {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("event never arrived on the long-lived stream")
 	}
 }

@@ -87,6 +87,10 @@ type Result = core.Result
 // CoreChoice reports the configuration chosen for one core.
 type CoreChoice = core.CoreChoice
 
+// Plan is the serializable form of a Result (Result.Plan / WritePlan)
+// — the JSON the tooling and the socserve daemon hand to clients.
+type Plan = core.PlanJSON
+
 // Cache memoizes per-core lookup tables across optimizer runs.
 type Cache = core.Cache
 
